@@ -1,0 +1,84 @@
+// Ablation: ASpMV augmentation traffic as a function of phi and of the
+// sparsity pattern (paper §2.2: "denser matrices will have lower overheads
+// for ASpMV" and banded structure keeps the neighbor sends cheap). This is
+// a pure communication-plan study: no solves, just the per-iteration extra
+// entries relative to the regular SpMV traffic.
+#include <cstdio>
+
+#include "comm/aspmv_plan.hpp"
+#include "sparse/generators.hpp"
+#include "xp/table.hpp"
+
+int main() {
+  using namespace esrp;
+  const rank_t nodes = 64;
+
+  struct Pattern {
+    std::string name;
+    CsrMatrix matrix;
+  };
+  std::vector<Pattern> patterns;
+  patterns.push_back({"tridiagonal", laplace1d(16384)});
+  patterns.push_back({"poisson2d_128", poisson2d(128, 128)});
+  patterns.push_back({"poisson3d_25", poisson3d(25, 25, 25)});
+  patterns.push_back({"emilia_like_24", emilia_like(24, 24, 24).matrix});
+  patterns.push_back({"audikw_like_16", audikw_like(16, 16, 16).matrix});
+  patterns.push_back({"banded_bw64", banded_spd(16384, 64, 0.2, 7)});
+
+  std::printf("ASpMV augmentation traffic per iteration on %d nodes "
+              "(entries sent, as %% of the regular SpMV halo traffic)\n\n",
+              static_cast<int>(nodes));
+
+  xp::TablePrinter table({"pattern", "rows", "nnz/row", "halo/iter",
+                          "phi=1", "phi=3", "phi=8"},
+                         {16, 8, 8, 10, 9, 9, 9});
+  table.print_header();
+
+  for (const Pattern& p : patterns) {
+    const BlockRowPartition part(p.matrix.rows(), nodes);
+    const SpmvPlan base(p.matrix, part);
+    const double halo = static_cast<double>(base.total_entries_sent());
+    std::vector<std::string> row{
+        p.name, std::to_string(p.matrix.rows()),
+        xp::format_fixed(static_cast<double>(p.matrix.nnz()) /
+                             static_cast<double>(p.matrix.rows()),
+                         1),
+        std::to_string(base.total_entries_sent())};
+    for (const int phi : {1, 3, 8}) {
+      const AspmvPlan aug(base, phi);
+      const double extra = static_cast<double>(aug.total_extra_entries());
+      row.push_back(halo > 0 ? xp::format_percent(extra / halo) : "inf");
+    }
+    table.print_row(row);
+  }
+  table.print_rule();
+  std::printf("\nDenser/banded patterns ship most entries anyway, so the "
+              "augmentation is relatively cheap; a tridiagonal pattern has "
+              "a tiny halo and pays the most, as §2.2 of the paper "
+              "predicts.\n\n");
+
+  // Placement-policy comparison: the paper's ring destinations (Eq. 1) vs
+  // the halo-affine policy that piggybacks on existing SpMV routes — the
+  // "ongoing work" direction of §2.2.1. New routes cost a fresh message
+  // latency each iteration.
+  std::printf("Designated-destination placement: fresh communication routes "
+              "opened by the augmentation (phi = 3)\n\n");
+  xp::TablePrinter placement({"pattern", "ring routes", "halo-affine routes",
+                              "saved"},
+                             {16, 12, 18, 8});
+  placement.print_header();
+  for (const Pattern& p : patterns) {
+    const BlockRowPartition part(p.matrix.rows(), nodes);
+    const SpmvPlan base(p.matrix, part);
+    const AspmvPlan ring(base, 3, AspmvPlacement::ring);
+    const AspmvPlan affine(base, 3, AspmvPlacement::halo_affine);
+    const std::size_t saved = ring.new_routes() - affine.new_routes();
+    placement.print_row({p.name, std::to_string(ring.new_routes()),
+                         std::to_string(affine.new_routes()),
+                         std::to_string(saved)});
+  }
+  placement.print_rule();
+  std::printf("\nThe halo-affine policy reuses senders' existing heavy "
+              "routes, trading ring locality for message-count savings.\n");
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 2 of the paper: median runtime-overhead series for the
+// Emilia_923 stand-in — panel (a) failure-free, panel (b) with failures —
+// clustered by checkpointing interval T, one line per strategy (ESRP, ESR,
+// IMCR), markers phi = 1, 3, 8. Shares its runs with bench_table2_emilia
+// through the result cache.
+#include "table_grid.hpp"
+
+int main() {
+  using namespace esrp;
+  bench::GridSpec spec;
+  xp::ResultCache cache;
+  const TestProblem prob = emilia_like_default();
+  const bench::GridResult grid = bench::run_grid(prob, spec, cache);
+  bench::print_figure(prob, spec, grid);
+  return 0;
+}

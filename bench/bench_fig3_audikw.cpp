@@ -1,0 +1,14 @@
+// Reproduces Figure 3 of the paper: the Figure-2 panels for the audikw_1
+// stand-in. Shares its runs with bench_table3_audikw through the result
+// cache.
+#include "table_grid.hpp"
+
+int main() {
+  using namespace esrp;
+  bench::GridSpec spec;
+  xp::ResultCache cache;
+  const TestProblem prob = audikw_like_default();
+  const bench::GridResult grid = bench::run_grid(prob, spec, cache);
+  bench::print_figure(prob, spec, grid);
+  return 0;
+}

@@ -1,0 +1,161 @@
+// Google-benchmark micro benches of the kernels that determine the
+// simulator's wall-clock cost: sequential SpMV, the distributed SpMV and
+// ASpMV exchanges, the block Jacobi apply, a full resilient PCG iteration,
+// checkpoint storage, and one Alg. 2 state reconstruction.
+#include <benchmark/benchmark.h>
+
+#include "comm/exchange.hpp"
+#include "core/checkpoint_store.hpp"
+#include "core/reconstruction.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace {
+
+using namespace esrp;
+
+const CsrMatrix& test_matrix() {
+  static const CsrMatrix a = emilia_like(16, 16, 16).matrix; // 4096 rows
+  return a;
+}
+
+void BM_SequentialSpmv(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const Vector x = xp::make_rhs(a);
+  Vector y(x.size());
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_SequentialSpmv);
+
+void BM_DistributedSpmv(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const auto nodes = static_cast<rank_t>(state.range(0));
+  const BlockRowPartition part(a.rows(), nodes);
+  SimCluster cluster(part);
+  const SpmvPlan plan(a, part);
+  ExchangeEngine engine(a, plan, cluster);
+  DistVector x(part, xp::make_rhs(a)), y(part);
+  for (auto _ : state) {
+    engine.spmv(x, y);
+    benchmark::DoNotOptimize(&y);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+}
+BENCHMARK(BM_DistributedSpmv)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_DistributedAspmv(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const BlockRowPartition part(a.rows(), 64);
+  SimCluster cluster(part);
+  const SpmvPlan plan(a, part);
+  const AspmvPlan aug(plan, static_cast<int>(state.range(0)));
+  ExchangeEngine engine(a, plan, cluster);
+  DistVector x(part, xp::make_rhs(a)), y(part);
+  index_t tag = 0;
+  for (auto _ : state) {
+    RedundantCopy copy = engine.aspmv(aug, x, tag++, y);
+    benchmark::DoNotOptimize(copy.total_entries());
+  }
+}
+BENCHMARK(BM_DistributedAspmv)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_BlockJacobiApply(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const BlockJacobiPreconditioner precond(
+      a, static_cast<index_t>(state.range(0)));
+  const Vector r = xp::make_rhs(a);
+  Vector z(r.size());
+  for (auto _ : state) {
+    precond.apply(r, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_BlockJacobiApply)->Arg(1)->Arg(10)->Arg(64);
+
+void BM_CheckpointStore(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const BlockRowPartition part(a.rows(), 64);
+  SimCluster cluster(part);
+  CheckpointStore store(part, static_cast<int>(state.range(0)));
+  const DistVector x(part, xp::make_rhs(a));
+  index_t tag = 0;
+  for (auto _ : state) {
+    store.store(tag++, x, x, x, x, 0.5, cluster);
+  }
+}
+BENCHMARK(BM_CheckpointStore)->Arg(1)->Arg(3)->Arg(8);
+
+void BM_Reconstruction(benchmark::State& state) {
+  const CsrMatrix& a = test_matrix();
+  const auto psi = static_cast<rank_t>(state.range(0));
+  const rank_t nodes = 64;
+  const BlockRowPartition part(a.rows(), nodes);
+  const BlockJacobiPreconditioner precond(a, part, 10);
+  const Vector b = xp::make_rhs(a);
+
+  // Consistent synthetic state (see tests/core/reconstruction_test.cpp).
+  Vector x(b.size(), 0.25), r(b.size()), z(b.size()), p_prev(b.size(), 0.5);
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] = b[i] - r[i];
+  precond.apply(r, z);
+  Vector p_cur(b.size());
+  for (std::size_t i = 0; i < z.size(); ++i)
+    p_cur[i] = z[i] + 0.37 * p_prev[i];
+
+  const std::vector<rank_t> failed = contiguous_ranks(8, psi, nodes);
+  RedundantCopy prev(9, nodes), cur(10, nodes);
+  for (index_t i = 0; i < a.rows(); ++i) {
+    const rank_t holder = (part.owner(i) + psi + 1) % nodes;
+    prev.record(holder, i, p_prev[static_cast<std::size_t>(i)]);
+    cur.record(holder, i, p_cur[static_cast<std::size_t>(i)]);
+  }
+  prev.finalize();
+  cur.finalize();
+  DistVector x_star(part, x), r_star(part, r);
+
+  for (auto _ : state) {
+    SimCluster cluster(part);
+    ReconstructionInputs in;
+    in.a = &a;
+    in.p_action = precond.action_matrix();
+    in.part = &part;
+    in.failed = failed;
+    in.p_prev = &prev;
+    in.p_cur = &cur;
+    in.beta_prev = 0.37;
+    in.x_star = &x_star;
+    in.r_star = &r_star;
+    in.b_global = b;
+    const ReconstructionOutput out = reconstruct_state(in, cluster);
+    benchmark::DoNotOptimize(out.x_f.data());
+  }
+}
+BENCHMARK(BM_Reconstruction)->Arg(1)->Arg(3)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullResilientIteration(benchmark::State& state) {
+  // Amortized wall cost per ESRP iteration (T = 20, phi = 3, no failure).
+  const CsrMatrix& a = test_matrix();
+  const Vector b = xp::make_rhs(a);
+  for (auto _ : state) {
+    xp::RunConfig cfg;
+    cfg.strategy = Strategy::esrp;
+    cfg.interval = 20;
+    cfg.phi = 3;
+    cfg.num_nodes = 64;
+    const xp::RunOutcome out = xp::run_experiment(a, b, cfg);
+    state.SetIterationTime(out.wall_seconds /
+                           static_cast<double>(out.executed));
+    benchmark::DoNotOptimize(out.modeled_time);
+  }
+  state.SetLabel("wall seconds per PCG iteration on 64 simulated nodes");
+}
+BENCHMARK(BM_FullResilientIteration)->UseManualTime()->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace

@@ -1,0 +1,15 @@
+// Reproduces Table 2 of the paper: ESRP vs IMCR overheads for the
+// Emilia_923 stand-in on 128 simulated nodes — failure-free overhead,
+// overhead with psi = phi node failures (locations Start/Center), and
+// reconstruction overhead, for T in {1, 20, 50, 100} x phi in {1, 3, 8}.
+#include "table_grid.hpp"
+
+int main() {
+  using namespace esrp;
+  bench::GridSpec spec;
+  xp::ResultCache cache;
+  const TestProblem prob = emilia_like_default();
+  const bench::GridResult grid = bench::run_grid(prob, spec, cache);
+  bench::print_table(prob, spec, grid);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Reproduces Table 3 of the paper: the Table-2 grid for the audikw_1
+// stand-in (denser elasticity-like operator, 3 dof per grid point).
+#include "table_grid.hpp"
+
+int main() {
+  using namespace esrp;
+  bench::GridSpec spec;
+  xp::ResultCache cache;
+  const TestProblem prob = audikw_like_default();
+  const bench::GridResult grid = bench::run_grid(prob, spec, cache);
+  bench::print_table(prob, spec, grid);
+  return 0;
+}

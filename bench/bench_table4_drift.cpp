@@ -1,0 +1,66 @@
+// Reproduces Table 4 of the paper: the residual-drift accuracy metric
+// (Eq. 2) for both matrices — the failure-free reference value, and the
+// median and minimum drift over all failure experiments of the Table-2/3
+// grids (the minimum is the greatest accuracy loss caused by an ESRP
+// reconstruction). Reuses the cached grid runs.
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "table_grid.hpp"
+#include "xp/table.hpp"
+
+int main() {
+  using namespace esrp;
+  bench::GridSpec spec;
+  xp::ResultCache cache;
+
+  std::printf("Table 4: residual drift (Eq. 2). Reference: drift of all "
+              "failure-free cases (identical trajectory). Median/Minimum: "
+              "over all ESRP failure experiments of the Table-2/3 grids.\n\n");
+
+  xp::TablePrinter table({"Matrix", "Reference", "Median", "Minimum"},
+                         {24, 12, 12, 12});
+  table.print_header();
+
+  for (const TestProblem& prob :
+       {emilia_like_default(), audikw_like_default()}) {
+    const CsrMatrix& a = prob.matrix;
+    const Vector b = xp::make_rhs(a);
+
+    // Reference drift (failure-free).
+    xp::RunConfig ref_cfg;
+    ref_cfg.num_nodes = spec.num_nodes;
+    const xp::RunOutcome ref = cache.get_or_run(a, b, prob.name, ref_cfg);
+
+    // Drift over every ESRP failure run in the grid.
+    Vector drifts;
+    const index_t c_ref = ref.iterations;
+    for (const index_t interval : spec.esrp_intervals) {
+      for (const int phi : spec.phis) {
+        for (const rank_t loc : spec.locations) {
+          xp::RunConfig cfg;
+          cfg.strategy = Strategy::esrp;
+          cfg.interval = interval;
+          cfg.phi = phi;
+          cfg.num_nodes = spec.num_nodes;
+          cfg.with_failure = true;
+          cfg.psi = phi;
+          cfg.failure_start = loc;
+          cfg.failure_iteration =
+              xp::worst_case_failure_iteration(c_ref, interval);
+          const xp::RunOutcome out = cache.get_or_run(a, b, prob.name, cfg);
+          if (out.converged) drifts.push_back(out.drift);
+        }
+      }
+    }
+
+    table.print_row({prob.name, xp::format_sci(ref.drift),
+                     xp::format_sci(median(drifts)),
+                     xp::format_sci(min_of(drifts))});
+  }
+  table.print_rule();
+  std::printf("\nA more positive drift means a smaller true residual "
+              "||b - A x|| (more accurate result); the minimum column is "
+              "the worst accuracy loss over all reconstructions.\n");
+  return 0;
+}

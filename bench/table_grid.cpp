@@ -1,0 +1,205 @@
+#include "table_grid.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "xp/table.hpp"
+
+namespace esrp::bench {
+
+namespace {
+
+xp::RunConfig base_config(const GridSpec& spec, Strategy strategy,
+                          index_t interval, int phi) {
+  xp::RunConfig cfg;
+  cfg.strategy = strategy;
+  cfg.interval = interval;
+  cfg.phi = phi;
+  cfg.num_nodes = spec.num_nodes;
+  return cfg;
+}
+
+} // namespace
+
+const CellResult& GridResult::cell(Strategy s, index_t interval,
+                                   int phi) const {
+  for (const CellResult& c : cells) {
+    if (c.strategy == s && c.interval == interval && c.phi == phi) return c;
+  }
+  throw Error("grid cell not found");
+}
+
+GridResult run_grid(const TestProblem& prob, const GridSpec& spec,
+                    xp::ResultCache& cache) {
+  const CsrMatrix& a = prob.matrix;
+  const Vector b = xp::make_rhs(a);
+
+  GridResult grid;
+  // Reference run (cache it like any other config).
+  {
+    xp::RunConfig cfg = base_config(spec, Strategy::none, 1, 1);
+    const xp::RunOutcome out = cache.get_or_run(a, b, prob.name, cfg);
+    ESRP_CHECK_MSG(out.converged, "reference run did not converge");
+    grid.reference.t0_modeled = out.modeled_time;
+    grid.reference.iterations = out.iterations;
+    grid.reference.drift = out.drift;
+  }
+  const double t0 = grid.reference.t0_modeled;
+  const index_t c_ref = grid.reference.iterations;
+
+  auto run_strategy = [&](Strategy strategy, index_t interval) {
+    for (const int phi : spec.phis) {
+      CellResult cell;
+      cell.strategy = strategy;
+      cell.interval = interval;
+      cell.phi = phi;
+
+      // Failure-free overhead.
+      {
+        xp::RunConfig cfg = base_config(spec, strategy, interval, phi);
+        const xp::RunOutcome out = cache.get_or_run(a, b, prob.name, cfg);
+        ESRP_CHECK(out.converged);
+        cell.failure_free_overhead =
+            xp::relative_overhead(out.modeled_time, t0);
+      }
+      // Failures: psi = phi contiguous ranks at each location, placed two
+      // iterations before the end of the interval containing C/2.
+      for (const rank_t loc : spec.locations) {
+        xp::RunConfig cfg = base_config(spec, strategy, interval, phi);
+        cfg.with_failure = true;
+        cfg.psi = phi;
+        cfg.failure_start = loc;
+        cfg.failure_iteration =
+            xp::worst_case_failure_iteration(c_ref, interval);
+        const xp::RunOutcome out = cache.get_or_run(a, b, prob.name, cfg);
+        ESRP_CHECK(out.converged);
+        cell.failure_overhead.push_back(
+            xp::relative_overhead(out.modeled_time, t0));
+        cell.reconstruction_overhead.push_back(out.recovery_time / t0);
+      }
+      grid.cells.push_back(std::move(cell));
+    }
+  };
+
+  for (const index_t interval : spec.esrp_intervals)
+    run_strategy(Strategy::esrp, interval);
+  for (const index_t interval : spec.imcr_intervals)
+    run_strategy(Strategy::imcr, interval);
+  return grid;
+}
+
+void print_table(const TestProblem& prob, const GridSpec& spec,
+                 const GridResult& grid) {
+  std::printf("Results for matrix %s (%s).\n", prob.name.c_str(),
+              prob.problem_type.c_str());
+  std::printf("Reference time t0 = %.3f s (modeled). The reference case "
+              "takes C = %lld iterations to reach convergence.\n",
+              grid.reference.t0_modeled,
+              static_cast<long long>(grid.reference.iterations));
+  std::printf("All overheads are relative to t0; failures are psi = phi "
+              "contiguous ranks, two iterations before the end of the "
+              "interval containing C/2.\n\n");
+
+  std::vector<std::string> headers{"Strategy", "T", "Location"};
+  std::vector<int> widths{8, 4, 8};
+  for (const char* group : {"ff ", "fail ", "rec "}) {
+    for (const int phi : spec.phis) {
+      headers.push_back(std::string(group) + "phi=" + std::to_string(phi));
+      widths.push_back(9);
+    }
+  }
+  xp::TablePrinter table(headers, widths);
+  table.print_header();
+
+  auto strategy_label = [](Strategy s, index_t interval) {
+    if (s == Strategy::esrp) return interval == 1 ? "ESR" : "ESRP";
+    return "IMCR";
+  };
+
+  auto emit_rows = [&](Strategy s, index_t interval) {
+    for (std::size_t l = 0; l < spec.locations.size(); ++l) {
+      std::vector<std::string> row;
+      row.push_back(l == 0 ? strategy_label(s, interval) : "");
+      row.push_back(l == 0 ? std::to_string(interval) : "");
+      row.push_back(spec.locations[l] == 0 ? "Start" : "Center");
+      for (const int phi : spec.phis) {
+        const CellResult& c = grid.cell(s, interval, phi);
+        row.push_back(l == 0 ? xp::format_percent(c.failure_free_overhead)
+                             : "");
+      }
+      for (const int phi : spec.phis) {
+        const CellResult& c = grid.cell(s, interval, phi);
+        row.push_back(xp::format_percent(c.failure_overhead[l]));
+      }
+      for (const int phi : spec.phis) {
+        const CellResult& c = grid.cell(s, interval, phi);
+        row.push_back(xp::format_percent(c.reconstruction_overhead[l]));
+      }
+      table.print_row(row);
+    }
+  };
+
+  for (const index_t interval : spec.esrp_intervals)
+    emit_rows(Strategy::esrp, interval);
+  table.print_rule();
+  for (const index_t interval : spec.imcr_intervals)
+    emit_rows(Strategy::imcr, interval);
+  table.print_rule();
+  std::printf("\nColumns: ff = failure-free overhead, fail = overhead with "
+              "psi = phi node failures, rec = reconstruction overhead "
+              "(gather + inner solves for ESR/ESRP, checkpoint transfer for "
+              "IMCR).\n\n");
+}
+
+void print_figure(const TestProblem& prob, const GridSpec& spec,
+                  const GridResult& grid) {
+  std::printf("Median runtime overhead series for matrix %s "
+              "(markers: phi = 1, 3, 8).\n\n", prob.name.c_str());
+
+  const std::vector<index_t> clusters = spec.imcr_intervals; // {20, 50, 100}
+
+  auto series_value = [&](Strategy s, index_t interval, int phi,
+                          bool with_failures) {
+    const CellResult& c = grid.cell(s, interval, phi);
+    if (!with_failures) return c.failure_free_overhead;
+    // Median over locations, matching the figure caption.
+    return median(c.failure_overhead);
+  };
+
+  for (const bool with_failures : {false, true}) {
+    std::printf("(%c) %s\n", with_failures ? 'b' : 'a',
+                with_failures ? "Node failures introduced"
+                              : "Failure-free solver");
+    std::printf("  %-8s", "series");
+    for (const index_t t : clusters) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "T=%lld", static_cast<long long>(t));
+      std::printf(" | %-26s", buf);
+    }
+    std::printf("\n");
+    struct SeriesDef {
+      const char* label;
+      Strategy strategy;
+      bool is_esr; // ESR = ESRP with T=1, constant across clusters
+    };
+    for (const SeriesDef def : {SeriesDef{"ESRP", Strategy::esrp, false},
+                                SeriesDef{"ESR", Strategy::esrp, true},
+                                SeriesDef{"IMCR", Strategy::imcr, false}}) {
+      std::printf("  %-8s", def.label);
+      for (const index_t t : clusters) {
+        std::printf(" |");
+        for (const int phi : spec.phis) {
+          const index_t interval = def.is_esr ? 1 : t;
+          std::printf(" %7.2f%%",
+                      100 * series_value(def.strategy, interval, phi,
+                                         with_failures));
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("\n");
+  }
+}
+
+} // namespace esrp::bench

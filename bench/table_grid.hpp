@@ -1,0 +1,61 @@
+// Shared harness for the Table 2/3 and Figure 2/3 benches: runs the paper's
+// full experiment grid for one test matrix and renders either the table
+// layout (per-location rows) or the figure layout (per-T overhead series).
+//
+// All runs go through xp::ResultCache, so the table bench and the figure
+// bench of the same matrix compute the grid only once per cache file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+#include "xp/result_cache.hpp"
+
+namespace esrp::bench {
+
+struct GridSpec {
+  rank_t num_nodes = 128;
+  std::vector<index_t> esrp_intervals{1, 20, 50, 100}; ///< T=1 is ESR
+  std::vector<index_t> imcr_intervals{20, 50, 100};
+  std::vector<int> phis{1, 3, 8};
+  // Failure locations: contiguous blocks starting at these ranks
+  // (paper: 0 = "Start", N/2 = "Center").
+  std::vector<rank_t> locations{0, 64};
+};
+
+/// One grid cell's measurements, all as fractions of t0.
+struct CellResult {
+  Strategy strategy = Strategy::none;
+  index_t interval = 0;
+  int phi = 0;
+  double failure_free_overhead = 0;
+  // Indexed like GridSpec::locations:
+  std::vector<double> failure_overhead;
+  std::vector<double> reconstruction_overhead;
+};
+
+struct GridResult {
+  xp::Reference reference;
+  std::vector<CellResult> cells;
+
+  const CellResult& cell(Strategy s, index_t interval, int phi) const;
+};
+
+/// Run (or fetch from cache) the full grid for one problem.
+GridResult run_grid(const TestProblem& prob, const GridSpec& spec,
+                    xp::ResultCache& cache);
+
+/// Render in the layout of the paper's Tables 2 and 3.
+void print_table(const TestProblem& prob, const GridSpec& spec,
+                 const GridResult& grid);
+
+/// Render in the layout of the paper's Figures 2 and 3: two panels
+/// (failure-free / with failures), T clusters on the x axis, one series per
+/// strategy with markers phi = 1, 3, 8. Failure panels aggregate locations
+/// by their median, like the figure caption describes.
+void print_figure(const TestProblem& prob, const GridSpec& spec,
+                  const GridResult& grid);
+
+} // namespace esrp::bench

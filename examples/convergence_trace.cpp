@@ -1,0 +1,55 @@
+// Convergence-trace demo: solve with ESRP, kill three nodes mid-solve, and
+// render the residual history as an ASCII chart. The recovery shows up as
+// the upward jump where the solver rolls back to the last storage stage and
+// replays the lost iterations on the original trajectory.
+//
+//   $ ./convergence_trace [csv_path]   (optionally also writes a CSV)
+#include <cstdio>
+#include <fstream>
+
+#include "core/resilient_pcg.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+#include "xp/trace.hpp"
+
+int main(int argc, char** argv) {
+  using namespace esrp;
+
+  const CsrMatrix a = poisson2d(24, 24);
+  const Vector b = xp::make_rhs(a);
+  const BlockRowPartition part(a.rows(), 16);
+  SimCluster cluster(part);
+  const BlockJacobiPreconditioner precond(a, part, 10);
+
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 15;
+  opts.phi = 3;
+  opts.failure.iteration = 40;
+  opts.failure.ranks = contiguous_ranks(6, 3, 16);
+
+  ResilientPcg solver(a, precond, cluster, opts);
+  xp::ConvergenceTrace trace;
+  solver.set_iteration_hook(trace.hook(vec_norm2(b)));
+  const ResilientSolveResult res = solver.solve(b);
+
+  std::printf("ESRP solve of a %lld-unknown Poisson system; 3 nodes killed "
+              "at iteration 40:\n\n", static_cast<long long>(a.rows()));
+  std::printf("%s\n", trace.ascii_chart(72, 16).c_str());
+  for (const index_t rb : trace.rollback_steps())
+    std::printf("rollback at execution step %lld (recovery rolled the "
+                "solver back to iteration %lld)\n",
+                static_cast<long long>(rb),
+                static_cast<long long>(res.recoveries[0].restored_to));
+  std::printf("converged after %lld trajectory iterations, %lld executed.\n",
+              static_cast<long long>(res.trajectory_iterations),
+              static_cast<long long>(res.executed_iterations));
+
+  if (argc > 1) {
+    std::ofstream csv(argv[1]);
+    trace.write_csv(csv);
+    std::printf("trace written to %s\n", argv[1]);
+  }
+  return res.converged ? 0 : 1;
+}

@@ -1,0 +1,155 @@
+#include "comm/exchange.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "netsim/failure.hpp"
+
+namespace esrp {
+
+void RedundantCopy::record(rank_t holder, index_t i, real_t v) {
+  ESRP_CHECK(holder >= 0 &&
+             holder < static_cast<rank_t>(held_.size()));
+  held_[static_cast<std::size_t>(holder)].emplace_back(i, v);
+  finalized_ = false;
+}
+
+void RedundantCopy::finalize() {
+  for (auto& entries : held_) {
+    std::sort(entries.begin(), entries.end());
+    // The same holder may receive an entry only once per exchange: regular
+    // and augmented sends to one destination are disjoint by construction.
+    ESRP_CHECK(std::adjacent_find(entries.begin(), entries.end(),
+                                  [](const auto& a, const auto& b) {
+                                    return a.first == b.first;
+                                  }) == entries.end());
+  }
+  finalized_ = true;
+}
+
+std::vector<std::pair<index_t, real_t>> RedundantCopy::held_in(
+    rank_t holder, std::span<const index_t> wanted) const {
+  ESRP_CHECK(finalized_);
+  ESRP_CHECK(holder >= 0 && holder < static_cast<rank_t>(held_.size()));
+  const auto& entries = held_[static_cast<std::size_t>(holder)];
+  std::vector<std::pair<index_t, real_t>> out;
+  for (index_t i : wanted) {
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), std::make_pair(i, real_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it != entries.end() && it->first == i) out.push_back(*it);
+  }
+  return out;
+}
+
+std::optional<std::pair<rank_t, real_t>> RedundantCopy::find_surviving(
+    index_t i, std::span<const rank_t> failed) const {
+  ESRP_CHECK(finalized_);
+  for (rank_t h = 0; h < static_cast<rank_t>(held_.size()); ++h) {
+    if (rank_in(failed, h)) continue;
+    const auto& entries = held_[static_cast<std::size_t>(h)];
+    const auto it = std::lower_bound(
+        entries.begin(), entries.end(), std::make_pair(i, real_t{0}),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    if (it != entries.end() && it->first == i) return std::make_pair(h, it->second);
+  }
+  return std::nullopt;
+}
+
+std::size_t RedundantCopy::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& e : held_) n += e.size();
+  return n;
+}
+
+void RedundantCopy::drop_holders(std::span<const rank_t> ranks) {
+  for (rank_t s : ranks) {
+    ESRP_CHECK(s >= 0 && s < static_cast<rank_t>(held_.size()));
+    held_[static_cast<std::size_t>(s)].clear();
+  }
+}
+
+ExchangeEngine::ExchangeEngine(const CsrMatrix& a, const SpmvPlan& plan,
+                               SimCluster& cluster)
+    : a_(&a), plan_(&plan), cluster_(&cluster) {
+  const BlockRowPartition& part = plan.partition();
+  ESRP_CHECK(&part == &cluster.partition());
+  scratch_.assign(static_cast<std::size_t>(part.num_nodes()),
+                  Vector(static_cast<std::size_t>(part.global_size()), 0));
+}
+
+void ExchangeEngine::scatter_owned(const DistVector& p) {
+  const BlockRowPartition& part = plan_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const auto slice = p.local(s);
+    std::copy(slice.begin(), slice.end(),
+              scratch_[static_cast<std::size_t>(s)].begin() +
+                  static_cast<std::ptrdiff_t>(part.begin(s)));
+  }
+}
+
+void ExchangeEngine::halo_exchange(const DistVector& p, RedundantCopy* capture) {
+  const BlockRowPartition& part = plan_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const auto owned = p.local(s);
+    const index_t lo = part.begin(s);
+    for (const SendList& sl : plan_->sends(s)) {
+      cluster_->send(s, sl.to,
+                     sl.indices.size() * CostParams::bytes_per_scalar,
+                     CommCategory::spmv_halo);
+      Vector& dst = scratch_[static_cast<std::size_t>(sl.to)];
+      for (index_t i : sl.indices) {
+        const real_t v = owned[static_cast<std::size_t>(i - lo)];
+        dst[static_cast<std::size_t>(i)] = v;
+        if (capture) capture->record(sl.to, i, v);
+      }
+    }
+  }
+}
+
+void ExchangeEngine::local_products(DistVector& y) {
+  const BlockRowPartition& part = plan_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    a_->spmv_rows(part.begin(s), part.end(s),
+                  scratch_[static_cast<std::size_t>(s)], y.local(s));
+    cluster_->add_compute(s, 2.0 * static_cast<double>(plan_->local_nnz(s)));
+  }
+}
+
+void ExchangeEngine::spmv(const DistVector& p, DistVector& y,
+                          bool complete_step) {
+  scatter_owned(p);
+  halo_exchange(p, nullptr);
+  local_products(y);
+  if (complete_step) cluster_->complete_step();
+}
+
+RedundantCopy ExchangeEngine::aspmv(const AspmvPlan& aug, const DistVector& p,
+                                    index_t tag, DistVector& y) {
+  const BlockRowPartition& part = plan_->partition();
+  ESRP_CHECK(&aug.base() == plan_);
+  RedundantCopy copy(tag, part.num_nodes());
+
+  scatter_owned(p);
+  halo_exchange(p, &copy);
+
+  // Augmentation traffic: pure redundancy, never read by the local products.
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const auto owned = p.local(s);
+    const index_t lo = part.begin(s);
+    for (const SendList& sl : aug.extra_sends(s)) {
+      cluster_->send(s, sl.to,
+                     sl.indices.size() * CostParams::bytes_per_scalar,
+                     CommCategory::aspmv_extra);
+      for (index_t i : sl.indices)
+        copy.record(sl.to, i, owned[static_cast<std::size_t>(i - lo)]);
+    }
+  }
+
+  local_products(y);
+  cluster_->complete_step();
+  copy.finalize();
+  return copy;
+}
+
+} // namespace esrp

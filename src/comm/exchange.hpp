@@ -1,0 +1,95 @@
+// Execution of the distributed (A)SpMV over the simulated cluster, including
+// the capture of redundant copies (paper §2.2.2).
+//
+// A RedundantCopy is the abstract p' of the paper: the entries of one search
+// direction that live on nodes *other than their owner* after an (A)SpMV.
+// For a regular SpMV these are exactly the halo entries; the ASpMV adds the
+// augmentation traffic so that every entry has at least phi off-owner copies.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "comm/aspmv_plan.hpp"
+#include "comm/spmv_plan.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/dist_vector.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+/// Off-owner copies of one search-direction vector.
+class RedundantCopy {
+public:
+  RedundantCopy() = default;
+  RedundantCopy(index_t tag, rank_t num_nodes)
+      : tag_(tag), held_(static_cast<std::size_t>(num_nodes)) {}
+
+  index_t tag() const { return tag_; }
+  bool valid() const { return tag_ >= 0; }
+
+  /// Record that `holder` received (i, v). Called during the exchange;
+  /// `finalize()` must be called before lookups.
+  void record(rank_t holder, index_t i, real_t v);
+
+  /// Sort per-holder entry lists (idempotent).
+  void finalize();
+
+  /// Entries held by `holder` whose global index lies in the sorted set
+  /// `wanted`; used by the recovery gather.
+  std::vector<std::pair<index_t, real_t>> held_in(
+      rank_t holder, std::span<const index_t> wanted) const;
+
+  /// Value of entry i on the lowest-ranked holder not in `failed`
+  /// (deterministic choice of the sending survivor). nullopt if no copy
+  /// survived — with a correct plan this means more than phi nodes failed.
+  std::optional<std::pair<rank_t, real_t>> find_surviving(
+      index_t i, std::span<const rank_t> failed) const;
+
+  /// Number of (holder, entry) pairs stored (diagnostics).
+  std::size_t total_entries() const;
+
+  /// Discard everything held by the given ranks — the copies a node failure
+  /// destroys along with the node.
+  void drop_holders(std::span<const rank_t> ranks);
+
+private:
+  index_t tag_ = -1;
+  bool finalized_ = false;
+  std::vector<std::vector<std::pair<index_t, real_t>>> held_;
+};
+
+/// Drives halo exchanges and local products for one matrix on one cluster.
+/// Owns a per-node global-length scratch vector, so one engine should be
+/// reused across iterations.
+class ExchangeEngine {
+public:
+  ExchangeEngine(const CsrMatrix& a, const SpmvPlan& plan, SimCluster& cluster);
+
+  /// y := A p using the regular SpMV. Charges halo messages and local
+  /// compute, then completes the superstep. Pass `complete_step = false` to
+  /// leave the superstep open so the caller can overlap further work with
+  /// it (e.g. the pipelined solver's non-blocking allreduce).
+  void spmv(const DistVector& p, DistVector& y, bool complete_step = true);
+
+  /// y := A p using the augmented SpMV: regular halo traffic plus the
+  /// augmentation sends of `aug`; every off-owner receipt is captured into
+  /// the returned RedundantCopy (tagged with `tag`).
+  RedundantCopy aspmv(const AspmvPlan& aug, const DistVector& p, index_t tag,
+                      DistVector& y);
+
+  const SpmvPlan& plan() const { return *plan_; }
+
+private:
+  void scatter_owned(const DistVector& p);
+  void halo_exchange(const DistVector& p, RedundantCopy* capture);
+  void local_products(DistVector& y);
+
+  const CsrMatrix* a_;
+  const SpmvPlan* plan_;
+  SimCluster* cluster_;
+  std::vector<Vector> scratch_; // [node] -> global-length work vector
+};
+
+} // namespace esrp

@@ -1,0 +1,98 @@
+#include "comm/spmv_plan.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+SpmvPlan::SpmvPlan(const CsrMatrix& a, const BlockRowPartition& part)
+    : part_(&part) {
+  ESRP_CHECK_MSG(a.rows() == a.cols(), "SpMV plan requires a square matrix");
+  ESRP_CHECK_MSG(a.rows() == part.global_size(),
+                 "matrix size does not match partition");
+  const rank_t n_nodes = part.num_nodes();
+  const index_t m = a.rows();
+
+  // needed[l] accumulates the off-node column indices of node l's rows.
+  std::vector<IndexSet> needed(static_cast<std::size_t>(n_nodes));
+  local_nnz_.assign(static_cast<std::size_t>(n_nodes), 0);
+  for (rank_t l = 0; l < n_nodes; ++l) {
+    const index_t lo = part.begin(l), hi = part.end(l);
+    IndexSet& need = needed[static_cast<std::size_t>(l)];
+    for (index_t i = lo; i < hi; ++i) {
+      local_nnz_[static_cast<std::size_t>(l)] +=
+          static_cast<index_t>(a.row_cols(i).size());
+      for (index_t j : a.row_cols(i)) {
+        if (j < lo || j >= hi) need.push_back(j);
+      }
+    }
+    std::sort(need.begin(), need.end());
+    need.erase(std::unique(need.begin(), need.end()), need.end());
+  }
+  ghosts_ = needed;
+
+  // Group each receiver's needs by owning node to form I_{s,l}.
+  sends_.assign(static_cast<std::size_t>(n_nodes), {});
+  multiplicity_.assign(static_cast<std::size_t>(m), 0);
+  std::vector<std::vector<IndexSet>> by_owner(
+      static_cast<std::size_t>(n_nodes),
+      std::vector<IndexSet>(static_cast<std::size_t>(n_nodes)));
+  for (rank_t l = 0; l < n_nodes; ++l) {
+    for (index_t j : ghosts_[static_cast<std::size_t>(l)]) {
+      const rank_t s = part.owner(j);
+      by_owner[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)]
+          .push_back(j);
+      ++multiplicity_[static_cast<std::size_t>(j)];
+    }
+  }
+  for (rank_t s = 0; s < n_nodes; ++s) {
+    for (rank_t l = 0; l < n_nodes; ++l) {
+      IndexSet& idx = by_owner[static_cast<std::size_t>(s)][static_cast<std::size_t>(l)];
+      if (idx.empty()) continue;
+      ESRP_CHECK(s != l); // ghosts exclude the receiver's own range
+      sends_[static_cast<std::size_t>(s)].push_back(
+          SendList{l, std::move(idx)});
+    }
+  }
+}
+
+const std::vector<SendList>& SpmvPlan::sends(rank_t s) const {
+  ESRP_CHECK(s >= 0 && s < part_->num_nodes());
+  return sends_[static_cast<std::size_t>(s)];
+}
+
+const IndexSet& SpmvPlan::send_set(rank_t s, rank_t l) const {
+  for (const SendList& sl : sends(s))
+    if (sl.to == l) return sl.indices;
+  return empty_;
+}
+
+const IndexSet& SpmvPlan::ghosts(rank_t l) const {
+  ESRP_CHECK(l >= 0 && l < part_->num_nodes());
+  return ghosts_[static_cast<std::size_t>(l)];
+}
+
+int SpmvPlan::multiplicity(index_t i) const {
+  ESRP_CHECK(i >= 0 && i < part_->global_size());
+  return multiplicity_[static_cast<std::size_t>(i)];
+}
+
+index_t SpmvPlan::local_nnz(rank_t s) const {
+  ESRP_CHECK(s >= 0 && s < part_->num_nodes());
+  return local_nnz_[static_cast<std::size_t>(s)];
+}
+
+std::uint64_t SpmvPlan::total_entries_sent() const {
+  std::uint64_t total = 0;
+  for (const auto& lists : sends_)
+    for (const SendList& sl : lists) total += sl.indices.size();
+  return total;
+}
+
+bool SpmvPlan::provides_full_redundancy() const {
+  return std::all_of(multiplicity_.begin(), multiplicity_.end(),
+                     [](int v) { return v >= 1; });
+}
+
+} // namespace esrp

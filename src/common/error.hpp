@@ -1,0 +1,49 @@
+// Error handling: a library-specific exception plus checked assertions that
+// stay active in release builds (the invariants they guard are cheap relative
+// to the numeric kernels).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <sstream>
+
+namespace esrp {
+
+/// Exception thrown on any violated precondition or invariant inside the
+/// library. Carries the failing expression and source location in `what()`.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "ESRP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+} // namespace detail
+} // namespace esrp
+
+/// Precondition/invariant check that remains active in release builds.
+#define ESRP_CHECK(expr)                                                        \
+  do {                                                                          \
+    if (!(expr)) ::esrp::detail::raise_check_failure(#expr, __FILE__, __LINE__, \
+                                                     std::string{});            \
+  } while (false)
+
+/// Like ESRP_CHECK but with a streamed message:
+///   ESRP_CHECK_MSG(n > 0, "matrix dimension must be positive, got " << n);
+#define ESRP_CHECK_MSG(expr, stream_expr)                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      std::ostringstream esrp_check_os_;                                   \
+      esrp_check_os_ << stream_expr;                                       \
+      ::esrp::detail::raise_check_failure(#expr, __FILE__, __LINE__,       \
+                                          esrp_check_os_.str());           \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace esrp {
+
+namespace {
+std::atomic<LogLevel> g_threshold{LogLevel::info};
+
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?";
+}
+} // namespace
+
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+
+void set_log_threshold(LogLevel lvl) {
+  g_threshold.store(lvl, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel lvl, const std::string& msg) {
+  if (lvl < log_threshold()) return;
+  std::ostream& os = (lvl >= LogLevel::warn) ? std::cerr : std::clog;
+  os << "[esrp " << level_name(lvl) << "] " << msg << '\n';
+}
+
+} // namespace esrp

@@ -1,0 +1,47 @@
+// Minimal leveled logger. Examples and benches use it for progress output;
+// the library itself only logs at `debug` so that solver hot loops stay
+// silent by default.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace esrp {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+/// Global log threshold; messages below it are dropped.
+LogLevel log_threshold();
+void set_log_threshold(LogLevel lvl);
+
+void log_message(LogLevel lvl, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel lvl, Args&&... args) {
+  if (lvl < log_threshold()) return;
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  log_message(lvl, os.str());
+}
+} // namespace detail
+
+template <typename... Args>
+void log_debug(Args&&... args) {
+  detail::log_fmt(LogLevel::debug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+  detail::log_fmt(LogLevel::info, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+  detail::log_fmt(LogLevel::warn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+  detail::log_fmt(LogLevel::error, std::forward<Args>(args)...);
+}
+
+} // namespace esrp

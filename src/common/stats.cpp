@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+namespace {
+std::vector<real_t> sorted_copy(std::span<const real_t> xs) {
+  std::vector<real_t> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  return v;
+}
+} // namespace
+
+real_t median(std::span<const real_t> xs) {
+  ESRP_CHECK(!xs.empty());
+  const std::vector<real_t> v = sorted_copy(xs);
+  const std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return (v[n / 2 - 1] + v[n / 2]) / 2;
+}
+
+real_t mean(std::span<const real_t> xs) {
+  ESRP_CHECK(!xs.empty());
+  real_t acc = 0;
+  for (real_t x : xs) acc += x;
+  return acc / static_cast<real_t>(xs.size());
+}
+
+real_t stddev(std::span<const real_t> xs) {
+  if (xs.size() < 2) return 0;
+  const real_t m = mean(xs);
+  real_t acc = 0;
+  for (real_t x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<real_t>(xs.size() - 1));
+}
+
+real_t min_of(std::span<const real_t> xs) {
+  ESRP_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+real_t max_of(std::span<const real_t> xs) {
+  ESRP_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+real_t percentile(std::span<const real_t> xs, real_t q) {
+  ESRP_CHECK(!xs.empty());
+  ESRP_CHECK(q >= 0 && q <= 100);
+  const std::vector<real_t> v = sorted_copy(xs);
+  if (v.size() == 1) return v[0];
+  const real_t pos = q / 100 * static_cast<real_t>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const real_t frac = pos - static_cast<real_t>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+Summary summarize(std::span<const real_t> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  s.med = median(xs);
+  s.avg = mean(xs);
+  s.sd = stddev(xs);
+  s.lo = min_of(xs);
+  s.hi = max_of(xs);
+  return s;
+}
+
+} // namespace esrp

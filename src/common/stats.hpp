@@ -1,0 +1,39 @@
+// Small descriptive-statistics helpers used by the experiment harness: the
+// paper reports medians of at least five repetitions per setting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esrp {
+
+/// Median of the sample (averages the two central elements for even sizes).
+/// The input is copied; the caller's order is preserved.
+real_t median(std::span<const real_t> xs);
+
+real_t mean(std::span<const real_t> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 samples.
+real_t stddev(std::span<const real_t> xs);
+
+real_t min_of(std::span<const real_t> xs);
+real_t max_of(std::span<const real_t> xs);
+
+/// Linear-interpolation percentile, q in [0, 100].
+real_t percentile(std::span<const real_t> xs, real_t q);
+
+/// Summary of a sample, convenient for table printers.
+struct Summary {
+  real_t med = 0;
+  real_t avg = 0;
+  real_t sd = 0;
+  real_t lo = 0;
+  real_t hi = 0;
+  std::size_t n = 0;
+};
+
+Summary summarize(std::span<const real_t> xs);
+
+} // namespace esrp

@@ -1,0 +1,26 @@
+// Wall-clock timer for the benches. Modeled (simulated) time is handled
+// separately by netsim/cost_model.hpp; this class only measures real elapsed
+// time of the host process.
+#pragma once
+
+#include <chrono>
+
+namespace esrp {
+
+class WallTimer {
+public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace esrp

@@ -1,0 +1,73 @@
+#include "common/vec.hpp"
+
+#include <algorithm>
+
+namespace esrp {
+
+void vec_copy(std::span<const real_t> x, std::span<real_t> y) {
+  ESRP_CHECK(x.size() == y.size());
+  std::copy(x.begin(), x.end(), y.begin());
+}
+
+void vec_zero(std::span<real_t> x) { std::fill(x.begin(), x.end(), real_t{0}); }
+
+void vec_scale(std::span<real_t> x, real_t alpha) {
+  for (real_t& v : x) v *= alpha;
+}
+
+void vec_axpy(std::span<real_t> y, real_t alpha, std::span<const real_t> x) {
+  ESRP_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void vec_xpby(std::span<real_t> y, std::span<const real_t> x, real_t beta) {
+  ESRP_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+}
+
+void vec_pointwise_mul(std::span<const real_t> x, std::span<const real_t> y,
+                       std::span<real_t> z) {
+  ESRP_CHECK(x.size() == y.size() && y.size() == z.size());
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+}
+
+real_t vec_dot(std::span<const real_t> x, std::span<const real_t> y) {
+  ESRP_CHECK(x.size() == y.size());
+  real_t acc = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+real_t vec_norm2(std::span<const real_t> x) { return std::sqrt(vec_dot(x, x)); }
+
+real_t vec_norm_inf(std::span<const real_t> x) {
+  real_t m = 0;
+  for (real_t v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+real_t vec_dist2(std::span<const real_t> x, std::span<const real_t> y) {
+  ESRP_CHECK(x.size() == y.size());
+  real_t acc = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const real_t d = x[i] - y[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+real_t vec_rel_diff_inf(std::span<const real_t> x, std::span<const real_t> y) {
+  ESRP_CHECK(x.size() == y.size());
+  real_t diff = 0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i)
+    diff = std::max(diff, std::abs(x[i] - y[i]));
+  return diff / std::max(real_t{1}, vec_norm_inf(y));
+}
+
+} // namespace esrp

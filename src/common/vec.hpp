@@ -1,0 +1,55 @@
+// Dense BLAS-1 style vector kernels over std::span. These are the only
+// floating-point primitives the solvers use, so the flop counts reported to
+// the cost model (see netsim/cost_model.hpp) can be derived directly from
+// calls into this header.
+#pragma once
+
+#include <span>
+#include <vector>
+#include <cmath>
+
+#include "common/types.hpp"
+#include "common/error.hpp"
+
+namespace esrp {
+
+/// Owning dense vector alias; all kernels take spans so callers may pass
+/// sub-blocks (node-local slices) without copying.
+using Vector = std::vector<real_t>;
+
+/// y := x (sizes must match).
+void vec_copy(std::span<const real_t> x, std::span<real_t> y);
+
+/// x := 0.
+void vec_zero(std::span<real_t> x);
+
+/// x := alpha * x.
+void vec_scale(std::span<real_t> x, real_t alpha);
+
+/// y := y + alpha * x.
+void vec_axpy(std::span<real_t> y, real_t alpha, std::span<const real_t> x);
+
+/// y := x + beta * y  (the p-update of CG: p <- z + beta p).
+void vec_xpby(std::span<real_t> y, std::span<const real_t> x, real_t beta);
+
+/// Pointwise product: z := x .* y.
+void vec_pointwise_mul(std::span<const real_t> x, std::span<const real_t> y,
+                       std::span<real_t> z);
+
+/// Dot product <x, y>.
+real_t vec_dot(std::span<const real_t> x, std::span<const real_t> y);
+
+/// Euclidean norm ||x||_2.
+real_t vec_norm2(std::span<const real_t> x);
+
+/// Max norm ||x||_inf.
+real_t vec_norm_inf(std::span<const real_t> x);
+
+/// ||x - y||_2; sizes must match.
+real_t vec_dist2(std::span<const real_t> x, std::span<const real_t> y);
+
+/// ||x - y||_inf / max(1, ||y||_inf): relative max-norm difference used by
+/// the exact-state reconstruction tests.
+real_t vec_rel_diff_inf(std::span<const real_t> x, std::span<const real_t> y);
+
+} // namespace esrp

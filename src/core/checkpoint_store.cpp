@@ -1,0 +1,72 @@
+#include "core/checkpoint_store.hpp"
+
+#include "comm/aspmv_plan.hpp"
+#include "common/error.hpp"
+
+namespace esrp {
+
+CheckpointStore::CheckpointStore(const BlockRowPartition& part, int phi)
+    : part_(&part), phi_(phi), x_(part), r_(part), z_(part), p_(part) {
+  ESRP_CHECK(phi >= 1 && phi < part.num_nodes());
+}
+
+void CheckpointStore::store(index_t iteration, const DistVector& x,
+                            const DistVector& r, const DistVector& z,
+                            const DistVector& p, real_t beta,
+                            SimCluster& cluster) {
+  tag_ = iteration;
+  x_.copy_from(x);
+  r_.copy_from(r);
+  z_.copy_from(z);
+  p_.copy_from(p);
+  beta_ = beta;
+
+  const rank_t n_nodes = part_->num_nodes();
+  for (rank_t s = 0; s < n_nodes; ++s) {
+    const std::size_t bytes =
+        (4 * static_cast<std::size_t>(part_->local_size(s)) + 1) *
+        CostParams::bytes_per_scalar;
+    for (int k = 1; k <= phi_; ++k) {
+      cluster.send(s, designated_destination(s, k, n_nodes), bytes,
+                   CommCategory::checkpoint);
+    }
+  }
+  cluster.complete_step();
+}
+
+std::optional<rank_t> CheckpointStore::surviving_buddy(
+    rank_t rank, std::span<const rank_t> failed) const {
+  for (int k = 1; k <= phi_; ++k) {
+    const rank_t d = designated_destination(rank, k, part_->num_nodes());
+    if (!rank_in(failed, d)) return d;
+  }
+  return std::nullopt;
+}
+
+bool CheckpointStore::restore(std::span<const rank_t> failed, DistVector& x,
+                              DistVector& r, DistVector& z, DistVector& p,
+                              real_t& beta, SimCluster& cluster) const {
+  ESRP_CHECK(has_checkpoint());
+  for (rank_t s : failed) {
+    if (!surviving_buddy(s, failed)) return false;
+  }
+
+  // Survivors roll back from their local copies (no messages); replacements
+  // fetch their slices from a surviving buddy.
+  x.copy_from(x_);
+  r.copy_from(r_);
+  z.copy_from(z_);
+  p.copy_from(p_);
+  beta = beta_;
+  for (rank_t s : failed) {
+    const rank_t buddy = *surviving_buddy(s, failed);
+    const std::size_t bytes =
+        (4 * static_cast<std::size_t>(part_->local_size(s)) + 1) *
+        CostParams::bytes_per_scalar;
+    cluster.send(buddy, s, bytes, CommCategory::recovery);
+  }
+  cluster.complete_step();
+  return true;
+}
+
+} // namespace esrp

@@ -1,0 +1,60 @@
+// In-memory buddy checkpoint store for IMCR (paper §3.1).
+//
+// Every T iterations each node sends a complete copy of its local dynamic
+// data (x, r, z, p slices plus the replicated scalar beta) to its phi buddy
+// nodes — the same ring neighbors Eq. 1 designates for ASpMV redundancy —
+// and keeps a local copy for its own rollback.
+//
+// The simulation stores the checkpoint content once (owner layout) and
+// separately tracks *which nodes hold it*: a failed node destroys its own
+// local copy and every buddy copy it was hosting, and recovery must find a
+// surviving buddy for each failed rank.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/dist_vector.hpp"
+#include "netsim/failure.hpp"
+
+namespace esrp {
+
+class CheckpointStore {
+public:
+  /// `phi` buddies per node, chosen by designated_destination (Eq. 1).
+  CheckpointStore(const BlockRowPartition& part, int phi);
+
+  int phi() const { return phi_; }
+  bool has_checkpoint() const { return tag_ >= 0; }
+  index_t tag() const { return tag_; }
+
+  /// Capture state `iteration` and charge the buddy messages on `cluster`
+  /// (category checkpoint): per node, phi messages of (4*local + 1) scalars.
+  void store(index_t iteration, const DistVector& x, const DistVector& r,
+             const DistVector& z, const DistVector& p, real_t beta,
+             SimCluster& cluster);
+
+  /// Buddy of `rank` that survives `failed`, preferring the k=1 buddy
+  /// (deterministic); nullopt if all phi buddies failed (unrecoverable).
+  std::optional<rank_t> surviving_buddy(rank_t rank,
+                                        std::span<const rank_t> failed) const;
+
+  /// Restore the full state into the given vectors:
+  ///  - survivors copy their local checkpoint slices (no communication);
+  ///  - each failed rank fetches its slices + beta from a surviving buddy
+  ///    (category recovery). Returns false if some failed rank has no
+  ///    surviving buddy (store left untouched, vectors unspecified).
+  bool restore(std::span<const rank_t> failed, DistVector& x, DistVector& r,
+               DistVector& z, DistVector& p, real_t& beta,
+               SimCluster& cluster) const;
+
+private:
+  const BlockRowPartition* part_;
+  int phi_;
+  index_t tag_ = -1;
+  DistVector x_, r_, z_, p_;
+  real_t beta_ = 0;
+};
+
+} // namespace esrp

@@ -1,0 +1,47 @@
+#include "core/interval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+double young_interval_seconds(double checkpoint_cost_s, double mtbf_s) {
+  ESRP_CHECK(checkpoint_cost_s >= 0 && mtbf_s > 0);
+  return std::sqrt(2.0 * checkpoint_cost_s * mtbf_s);
+}
+
+double daly_interval_seconds(double checkpoint_cost_s, double mtbf_s) {
+  ESRP_CHECK(checkpoint_cost_s >= 0 && mtbf_s > 0);
+  const double delta = checkpoint_cost_s;
+  if (delta >= 2.0 * mtbf_s) return mtbf_s;
+  const double ratio = delta / (2.0 * mtbf_s);
+  return std::sqrt(2.0 * delta * mtbf_s) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         delta;
+}
+
+index_t optimal_interval_iterations(const IntervalModel& model) {
+  ESRP_CHECK(model.iteration_s > 0);
+  const double tau = daly_interval_seconds(model.checkpoint_cost_s,
+                                           model.mtbf_s);
+  return std::max<index_t>(
+      1, static_cast<index_t>(std::llround(tau / model.iteration_s)));
+}
+
+double expected_runtime_seconds(double work_s, double tau_s,
+                                double checkpoint_cost_s, double mtbf_s,
+                                double recovery_cost_s) {
+  ESRP_CHECK(work_s >= 0 && tau_s > 0 && mtbf_s > 0);
+  // Checkpointing overhead: one delta per tau of work.
+  const double with_checkpoints =
+      work_s * (1.0 + checkpoint_cost_s / tau_s);
+  // Failures arrive at rate 1/M over the stretched runtime; each costs the
+  // recovery plus on average half an interval of rework.
+  const double failures = with_checkpoints / mtbf_s;
+  return with_checkpoints +
+         failures * (recovery_cost_s + (tau_s + checkpoint_cost_s) / 2.0);
+}
+
+} // namespace esrp

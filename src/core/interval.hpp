@@ -1,0 +1,44 @@
+// Optimal checkpointing-interval estimation.
+//
+// The paper (§1) defers the choice of the interval T to the classic
+// literature: Young's first-order approximation [28] and Daly's
+// higher-order estimate [8]. Both balance the per-checkpoint cost delta
+// against the expected rework after a failure with mean time between
+// failures M:
+//
+//   Young:  tau_opt = sqrt(2 delta M)
+//   Daly:   tau_opt = sqrt(2 delta M) * [1 + (1/3) sqrt(delta / (2M))
+//                      + (1/9) (delta / (2M))] - delta      (delta < 2M)
+//           tau_opt = M                                      (otherwise)
+//
+// tau is the *compute time between checkpoints*; helpers convert it to the
+// solver's iteration count given the per-iteration time.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace esrp {
+
+/// Young's first-order optimum [28]: sqrt(2 delta M).
+double young_interval_seconds(double checkpoint_cost_s, double mtbf_s);
+
+/// Daly's higher-order optimum [8]; falls back to M when delta >= 2M.
+double daly_interval_seconds(double checkpoint_cost_s, double mtbf_s);
+
+struct IntervalModel {
+  double checkpoint_cost_s = 0; ///< delta: cost of one storage stage
+  double mtbf_s = 0;            ///< M: mean time between failures
+  double iteration_s = 0;       ///< time of one solver iteration
+};
+
+/// Optimal T in iterations (Daly), at least 1.
+index_t optimal_interval_iterations(const IntervalModel& model);
+
+/// Expected total runtime of a solve of `work_s` failure-free seconds when
+/// checkpointing every `tau_s` (first-order model used by Young/Daly):
+/// rework of tau/2 + recovery per failure, failures at rate work/M.
+double expected_runtime_seconds(double work_s, double tau_s,
+                                double checkpoint_cost_s, double mtbf_s,
+                                double recovery_cost_s);
+
+} // namespace esrp

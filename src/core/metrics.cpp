@@ -1,0 +1,37 @@
+#include "core/metrics.hpp"
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace esrp {
+
+namespace {
+Vector true_residual(const CsrMatrix& a, std::span<const real_t> b,
+                     std::span<const real_t> x) {
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(static_cast<index_t>(b.size()) == a.rows());
+  ESRP_CHECK(static_cast<index_t>(x.size()) == a.cols());
+  Vector ax(b.size());
+  a.spmv(x, ax);
+  for (std::size_t i = 0; i < ax.size(); ++i) ax[i] = b[i] - ax[i];
+  return ax;
+}
+} // namespace
+
+real_t true_relative_residual(const CsrMatrix& a, std::span<const real_t> b,
+                              std::span<const real_t> x) {
+  const Vector res = true_residual(a, b, x);
+  const real_t bnorm = vec_norm2(b);
+  ESRP_CHECK_MSG(bnorm > 0, "right-hand side must be non-zero");
+  return vec_norm2(res) / bnorm;
+}
+
+real_t residual_drift(const CsrMatrix& a, std::span<const real_t> b,
+                      std::span<const real_t> x, std::span<const real_t> r) {
+  const Vector res = true_residual(a, b, x);
+  const real_t true_norm = vec_norm2(res);
+  ESRP_CHECK_MSG(true_norm > 0, "true residual is exactly zero");
+  return (vec_norm2(r) - true_norm) / true_norm;
+}
+
+} // namespace esrp

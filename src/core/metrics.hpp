@@ -1,0 +1,23 @@
+// Accuracy metrics of the paper's §5 "Accuracy of the experiments":
+// the residual drift (Eq. 2) compares the recursively updated residual kept
+// by PCG with the true residual b - A x after convergence.
+#pragma once
+
+#include <span>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+/// Relative residual ||b - A x||_2 / ||b||_2 (the "true" residual).
+real_t true_relative_residual(const CsrMatrix& a, std::span<const real_t> b,
+                              std::span<const real_t> x);
+
+/// Paper Eq. 2:
+///   (||r_end||_2 - ||b - A x_end||_2) / ||b - A x_end||_2.
+/// More positive = smaller true residual = more accurate result.
+real_t residual_drift(const CsrMatrix& a, std::span<const real_t> b,
+                      std::span<const real_t> x, std::span<const real_t> r);
+
+} // namespace esrp

@@ -1,0 +1,504 @@
+#include "core/resilient_pcg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/reconstruction.hpp"
+
+namespace esrp {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::none: return "none";
+    case Strategy::esrp: return "esrp";
+    case Strategy::imcr: return "imcr";
+  }
+  return "?";
+}
+
+namespace {
+
+/// The preconditioner action must be block diagonal with respect to the node
+/// partition: every row's entries stay within the owner's index range. This
+/// is what makes its application communication-free and P_{I_f, I\I_f} = 0.
+void check_node_local(const CsrMatrix& p, const BlockRowPartition& part) {
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const index_t lo = part.begin(s), hi = part.end(s);
+    for (index_t i = lo; i < hi; ++i) {
+      const auto cols = p.row_cols(i);
+      ESRP_CHECK_MSG(cols.empty() || (cols.front() >= lo && cols.back() < hi),
+                     "preconditioner action row "
+                         << i << " crosses the boundary of node " << s
+                         << " — use node-aligned block Jacobi");
+    }
+  }
+}
+
+} // namespace
+
+ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
+                           SimCluster& cluster, ResilienceOptions opts)
+    : a_(&a),
+      precond_(&precond),
+      cluster_(&cluster),
+      opts_(opts),
+      plan_(std::make_unique<SpmvPlan>(a, cluster.partition())),
+      aug_(std::make_unique<AspmvPlan>(*plan_, opts.phi)),
+      engine_(std::make_unique<ExchangeEngine>(a, *plan_, cluster)),
+      queue_(opts.queue_capacity) {
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(a.rows() == cluster.partition().global_size());
+  ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
+                 "the distributed solver requires a preconditioner with an "
+                 "explicit action matrix (e.g. block Jacobi)");
+  if (opts.strategy == Strategy::esrp &&
+      opts.precond_formulation == PrecondFormulation::matrix) {
+    ESRP_CHECK_MSG(precond.matrix_form() != nullptr,
+                   "the matrix formulation requires "
+                   "Preconditioner::matrix_form()");
+  }
+  ESRP_CHECK(precond.dim() == a.rows());
+  ESRP_CHECK_MSG(opts.interval >= 1, "checkpoint interval must be >= 1");
+  ESRP_CHECK(opts.rtol > 0 && opts.inner_rtol > 0);
+
+  const BlockRowPartition& part = cluster.partition();
+  build_precond_blocks();
+  ESRP_CHECK_MSG(opts_.spare_nodes || opts_.strategy == Strategy::esrp,
+                 "no-spare recovery is only defined for ESR/ESRP (ref. [22])");
+
+  if (opts_.failure.enabled()) events_.push_back(opts_.failure);
+  for (const FailureEvent& e : opts_.extra_failures) {
+    ESRP_CHECK_MSG(e.enabled(), "extra failure event is not fully specified");
+    events_.push_back(e);
+  }
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FailureEvent& e = events_[i];
+    for (rank_t s : e.ranks) {
+      ESRP_CHECK_MSG(s >= 0 && s < part.num_nodes(),
+                     "failure rank " << s << " out of range");
+    }
+    ESRP_CHECK(e.ranks.size() < static_cast<std::size_t>(part.num_nodes()));
+    for (std::size_t k = i + 1; k < events_.size(); ++k) {
+      ESRP_CHECK_MSG(events_[k].iteration != e.iteration,
+                     "failure events must have distinct iterations");
+    }
+  }
+  ESRP_CHECK(opts_.residual_replacement >= 0);
+
+  if (opts_.strategy == Strategy::imcr)
+    checkpoint_ = std::make_unique<CheckpointStore>(part, opts_.phi);
+}
+
+void ResilientPcg::build_precond_blocks() {
+  const BlockRowPartition& part = cluster_->partition();
+  const CsrMatrix& p_act = *precond_->action_matrix();
+  check_node_local(p_act, part);
+  // Pre-extract each node's diagonal block of P for local application.
+  precond_local_.clear();
+  precond_local_.reserve(static_cast<std::size_t>(part.num_nodes()));
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const IndexSet range = index_range(part.begin(s), part.end(s));
+    precond_local_.push_back(p_act.extract(range, range));
+  }
+}
+
+void ResilientPcg::repartition(std::span<const rank_t> failed) {
+  // Gather the current state, absorb the failed ranks' ranges into their
+  // surviving neighbors, and rebuild everything partition-dependent. The
+  // accounting approximation: adopters already received the reconstructed
+  // entries during the recovery gather, so no extra migration messages are
+  // charged (DESIGN.md).
+  const Vector xg = x_->gather_global();
+  const Vector rg = r_->gather_global();
+  const Vector zg = z_->gather_global();
+  const Vector pg = p_->gather_global();
+  Vector sx, sr, sz, sp;
+  index_t star_tag = -1;
+  if (stars_) {
+    star_tag = stars_->tag;
+    sx = stars_->x.gather_global();
+    sr = stars_->r.gather_global();
+    sz = stars_->z.gather_global();
+    sp = stars_->p.gather_global();
+  }
+
+  owned_part_ = std::make_unique<BlockRowPartition>(
+      absorb_ranks(cluster_->partition(), failed));
+  cluster_->set_partition(*owned_part_);
+  const BlockRowPartition& np = *owned_part_;
+
+  plan_ = std::make_unique<SpmvPlan>(*a_, np);
+  aug_ = std::make_unique<AspmvPlan>(*plan_, opts_.phi);
+  engine_ = std::make_unique<ExchangeEngine>(*a_, *plan_, *cluster_);
+  build_precond_blocks();
+
+  x_ = std::make_unique<DistVector>(np, xg);
+  r_ = std::make_unique<DistVector>(np, rg);
+  z_ = std::make_unique<DistVector>(np, zg);
+  p_ = std::make_unique<DistVector>(np, pg);
+  ap_ = std::make_unique<DistVector>(np);
+  if (stars_) {
+    stars_ = std::make_unique<StarCopies>(np);
+    stars_->tag = star_tag;
+    stars_->x.set_from_global(sx);
+    stars_->r.set_from_global(sr);
+    stars_->z.set_from_global(sz);
+    stars_->p.set_from_global(sp);
+  }
+}
+
+real_t ResilientPcg::dot(const DistVector& a, const DistVector& b) {
+  const BlockRowPartition& part = cluster_->partition();
+  real_t total = 0;
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    total += vec_dot(a.local(s), b.local(s));
+    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+  }
+  cluster_->allreduce(1, CommCategory::allreduce);
+  return total;
+}
+
+std::pair<real_t, real_t> ResilientPcg::dot2(const DistVector& a,
+                                             const DistVector& b,
+                                             const DistVector& c,
+                                             const DistVector& d) {
+  const BlockRowPartition& part = cluster_->partition();
+  real_t t1 = 0, t2 = 0;
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    t1 += vec_dot(a.local(s), b.local(s));
+    t2 += vec_dot(c.local(s), d.local(s));
+    cluster_->add_compute(s, 4.0 * static_cast<double>(part.local_size(s)));
+  }
+  cluster_->allreduce(2, CommCategory::allreduce);
+  return {t1, t2};
+}
+
+void ResilientPcg::axpy(DistVector& y, real_t alpha, const DistVector& x) {
+  const BlockRowPartition& part = cluster_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    vec_axpy(y.local(s), alpha, x.local(s));
+    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+  }
+}
+
+void ResilientPcg::xpby(DistVector& y, const DistVector& x, real_t beta) {
+  const BlockRowPartition& part = cluster_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    vec_xpby(y.local(s), x.local(s), beta);
+    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+  }
+}
+
+void ResilientPcg::apply_precond(const DistVector& r, DistVector& z) {
+  const BlockRowPartition& part = cluster_->partition();
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const CsrMatrix& ps = precond_local_[static_cast<std::size_t>(s)];
+    ps.spmv(r.local(s), z.local(s));
+    cluster_->add_compute(s, static_cast<double>(ps.spmv_flops()));
+  }
+}
+
+void ResilientPcg::initialize_state(std::span<const real_t> b,
+                                    std::span<const real_t> x0) {
+  const BlockRowPartition& part = cluster_->partition();
+  if (x0.empty()) {
+    x_->zero_all();
+    // r(0) = b with a zero initial guess: no SpMV needed.
+    r_->set_from_global(b);
+  } else {
+    x_->set_from_global(x0);
+    engine_->spmv(*x_, *r_);
+    DistVector b_dist(part, b);
+    for (rank_t s = 0; s < part.num_nodes(); ++s) {
+      auto rs = r_->local(s);
+      const auto bs = b_dist.local(s);
+      for (std::size_t k = 0; k < rs.size(); ++k) rs[k] = bs[k] - rs[k];
+      cluster_->add_compute(s, static_cast<double>(part.local_size(s)));
+    }
+  }
+  apply_precond(*r_, *z_);
+  p_->copy_from(*z_);
+  beta_ = 0;
+  cluster_->complete_step();
+}
+
+void ResilientPcg::write_lost_entries(DistVector& v,
+                                      std::span<const index_t> lost,
+                                      std::span<const real_t> values) {
+  ESRP_CHECK(lost.size() == values.size());
+  for (std::size_t k = 0; k < lost.size(); ++k) v.set(lost[k], values[k]);
+}
+
+index_t ResilientPcg::inject_and_recover(const FailureEvent& event,
+                                         index_t j_fail,
+                                         std::span<const real_t> b,
+                                         std::span<const real_t> x0,
+                                         RecoveryRecord& record) {
+  const BlockRowPartition& part = cluster_->partition();
+  const std::span<const rank_t> failed = event.ranks;
+  record.failed_at = j_fail;
+
+  // Data loss: all dynamic data of the failed ranks disappears — the live
+  // vectors, the node-local star copies, and every redundant copy the failed
+  // ranks were holding for other nodes. (The IMCR store models the holder
+  // loss through the surviving-buddy check.)
+  x_->zero_ranks(failed);
+  r_->zero_ranks(failed);
+  z_->zero_ranks(failed);
+  p_->zero_ranks(failed);
+  ap_->zero_ranks(failed);
+  if (stars_) {
+    stars_->x.zero_ranks(failed);
+    stars_->r.zero_ranks(failed);
+    stars_->z.zero_ranks(failed);
+    stars_->p.zero_ranks(failed);
+  }
+  queue_.drop_holders(failed);
+
+  const double t0 = cluster_->modeled_time();
+  bool recovered = false;
+  index_t resume = 0;
+
+  // With the default three-slot queue the storage pair for the target is
+  // always present; a two-slot queue (ablation) can have evicted it, in
+  // which case recovery falls through to the scratch restart below.
+  const RedundantCopy* prev = nullptr;
+  const RedundantCopy* cur = nullptr;
+  if (opts_.strategy == Strategy::esrp && last_recoverable_ >= 0) {
+    prev = queue_.find(last_recoverable_ - 1);
+    cur = queue_.find(last_recoverable_);
+  }
+  if (opts_.strategy == Strategy::esrp && prev && cur) {
+    const index_t target = last_recoverable_;
+    ESRP_CHECK(stars_ && stars_->tag == target);
+    ReconstructionInputs in;
+    in.a = a_;
+    in.p_action = precond_->action_matrix();
+    in.formulation = opts_.precond_formulation;
+    in.p_matrix = precond_->matrix_form();
+    in.z_star = &stars_->z;
+    in.part = &part;
+    in.failed = failed;
+    in.p_prev = prev;
+    in.p_cur = cur;
+    in.beta_prev = beta_star_;
+    in.x_star = &stars_->x;
+    in.r_star = &stars_->r;
+    in.b_global = b;
+    in.inner_rtol = opts_.inner_rtol;
+    in.inner_max_iterations = opts_.inner_max_iterations;
+    in.inner_block_size = opts_.inner_block_size;
+    const ReconstructionOutput out = reconstruct_state(in, *cluster_);
+    if (out.ok) {
+      // Survivors roll back to the star copies; replacements receive the
+      // reconstructed entries.
+      x_->copy_from(stars_->x);
+      r_->copy_from(stars_->r);
+      z_->copy_from(stars_->z);
+      p_->copy_from(stars_->p);
+      write_lost_entries(*x_, out.lost, out.x_f);
+      write_lost_entries(*r_, out.lost, out.r_f);
+      write_lost_entries(*z_, out.lost, out.z_f);
+      write_lost_entries(*p_, out.lost, out.p_f);
+      // The replacements' star copies are the state just reconstructed.
+      stars_->x.copy_from(*x_);
+      stars_->r.copy_from(*r_);
+      stars_->z.copy_from(*z_);
+      stars_->p.copy_from(*p_);
+      beta_ = beta_star_;
+      record.inner_iterations_precond = out.inner_iterations_precond;
+      record.inner_iterations_matrix = out.inner_iterations_matrix;
+      resume = target;
+      recovered = true;
+    }
+  } else if (opts_.strategy == Strategy::imcr && checkpoint_ &&
+             checkpoint_->has_checkpoint()) {
+    if (checkpoint_->restore(failed, *x_, *r_, *z_, *p_, beta_, *cluster_)) {
+      resume = checkpoint_->tag();
+      recovered = true;
+    }
+  }
+
+  if (recovered && !opts_.spare_nodes) {
+    // No spare nodes (ref. [22]): surviving neighbors absorb the failed
+    // ranks' ranges; the solve continues on the repartitioned cluster.
+    repartition(failed);
+  }
+
+  if (!recovered) {
+    // No recoverable redundant state: restart the solve from the beginning
+    // (the fate of an unprotected solver, paper §1). Without spares the
+    // restart also runs on the shrunken ownership map.
+    if (!opts_.spare_nodes) repartition(failed);
+    initialize_state(b, x0);
+    queue_.clear();
+    stars_.reset();
+    last_recoverable_ = -1;
+    beta_star_ = beta_dstar_ = 0;
+    resume = 0;
+    record.restarted_from_scratch = true;
+  }
+
+  record.restored_to = resume;
+  record.wasted_iterations = j_fail - resume;
+  record.modeled_time = cluster_->modeled_time() - t0;
+  return resume;
+}
+
+ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
+                                         std::span<const real_t> x0) {
+  const BlockRowPartition& part = cluster_->partition();
+  const index_t n = a_->rows();
+  ESRP_CHECK(static_cast<index_t>(b.size()) == n);
+  ESRP_CHECK(x0.empty() || static_cast<index_t>(x0.size()) == n);
+  const index_t T = opts_.interval;
+
+  WallTimer timer;
+  const double model_t0 = cluster_->modeled_time();
+  ResilientSolveResult result;
+
+  x_ = std::make_unique<DistVector>(part);
+  r_ = std::make_unique<DistVector>(part);
+  z_ = std::make_unique<DistVector>(part);
+  p_ = std::make_unique<DistVector>(part);
+  ap_ = std::make_unique<DistVector>(part);
+  queue_.clear();
+  stars_.reset();
+  last_recoverable_ = -1;
+  beta_star_ = beta_dstar_ = 0;
+
+  DistVector b_dist(part, b);
+  const real_t bnorm = std::sqrt(dot(b_dist, b_dist));
+  ESRP_CHECK_MSG(bnorm > 0, "right-hand side must be non-zero");
+
+  initialize_state(b, x0);
+  real_t rz = dot(*r_, *z_);
+  real_t rnorm = std::sqrt(dot(*r_, *r_));
+
+  index_t j = 0;
+  index_t executed = 0;
+  std::vector<bool> event_done(events_.size(), false);
+
+  while (true) {
+    result.final_relres = rnorm / bnorm;
+    if (result.final_relres < opts_.rtol) {
+      result.converged = true;
+      break;
+    }
+    if (executed >= opts_.max_iterations) break;
+
+    if (hook_) hook_(j, *x_, *r_, *z_, *p_);
+
+    // --- Storage / checkpoint phase (Alg. 3 lines 4-12) ---
+    bool first_store = false, second_store = false;
+    if (opts_.strategy == Strategy::esrp) {
+      if (T == 1) {
+        second_store = true; // classic ESR: full storage every iteration
+      } else if (j >= T && j % T == 0) {
+        first_store = true;
+      } else if (j >= T + 1 && j % T == 1) {
+        second_store = true;
+      }
+    }
+    // (The tag check skips re-checkpointing identical state when the first
+    // iteration after a rollback is itself a checkpoint iteration.)
+    if (opts_.strategy == Strategy::imcr && j > 0 && j % T == 0 &&
+        checkpoint_->tag() != j)
+      checkpoint_->store(j, *x_, *r_, *z_, *p_, beta_, *cluster_);
+
+    // --- SpMV phase ---
+    if (first_store || second_store) {
+      queue_.push(engine_->aspmv(*aug_, *p_, j, *ap_));
+      if (second_store) {
+        // cluster_->partition() rather than the construction-time partition:
+        // a no-spare restart may have repartitioned the cluster.
+        if (!stars_)
+          stars_ = std::make_unique<StarCopies>(cluster_->partition());
+        stars_->tag = j;
+        stars_->x.copy_from(*x_);
+        stars_->r.copy_from(*r_);
+        stars_->z.copy_from(*z_);
+        stars_->p.copy_from(*p_);
+        // beta currently holds beta^(j-1), the value Alg. 2 needs; for
+        // T >= 3 it equals the beta** captured at the end of iteration mT.
+        if (T > 1 && j > T + 1) ESRP_CHECK(beta_ == beta_dstar_);
+        beta_star_ = beta_;
+        if (queue_.find(j - 1) != nullptr) last_recoverable_ = j;
+      }
+    } else {
+      engine_->spmv(*p_, *ap_);
+    }
+
+    // --- Failure injection (paper §4: zero out at the marked iteration) ---
+    {
+      std::size_t pending = events_.size();
+      for (std::size_t e = 0; e < events_.size(); ++e) {
+        if (!event_done[e] && events_[e].iteration == j) {
+          pending = e;
+          break;
+        }
+      }
+      if (pending < events_.size()) {
+        event_done[pending] = true;
+        RecoveryRecord record;
+        j = inject_and_recover(events_[pending], j, b, x0, record);
+        result.recoveries.push_back(record);
+        rz = dot(*r_, *z_);
+        rnorm = std::sqrt(dot(*r_, *r_));
+        ++executed;
+        continue;
+      }
+    }
+
+    // --- CG updates (Alg. 3 lines 13-18) ---
+    const real_t pap = dot(*p_, *ap_);
+    ESRP_CHECK_MSG(pap > 0, "p^T A p <= 0 at iteration " << j);
+    const real_t alpha = rz / pap;
+    axpy(*x_, alpha, *p_);
+    axpy(*r_, -alpha, *ap_);
+    apply_precond(*r_, *z_);
+    const auto [rz_next, rr] = dot2(*r_, *z_, *r_, *r_);
+    beta_ = rz_next / rz;
+    rz = rz_next;
+    rnorm = std::sqrt(rr);
+    xpby(*p_, *z_, beta_);
+    if (opts_.strategy == Strategy::esrp && T > 1 && first_store)
+      beta_dstar_ = beta_; // the paper's beta** = beta^(mT)
+
+    // --- Residual replacement (van der Vorst & Ye, the paper's [27]) ---
+    if (opts_.residual_replacement > 0 &&
+        (j + 1) % opts_.residual_replacement == 0) {
+      engine_->spmv(*x_, *ap_); // ap_ reused as scratch for A x
+      // Index b by global offset: a no-spare recovery may have changed the
+      // partition since b_dist was built.
+      const BlockRowPartition& cp = cluster_->partition();
+      for (rank_t sr = 0; sr < cp.num_nodes(); ++sr) {
+        auto rs = r_->local(sr);
+        const auto axs = ap_->local(sr);
+        const auto off = static_cast<std::size_t>(cp.begin(sr));
+        for (std::size_t k = 0; k < rs.size(); ++k)
+          rs[k] = b[off + k] - axs[k];
+        cluster_->add_compute(sr, static_cast<double>(cp.local_size(sr)));
+      }
+      apply_precond(*r_, *z_);
+      const auto [rz_new, rr_new] = dot2(*r_, *z_, *r_, *r_);
+      rz = rz_new;
+      rnorm = std::sqrt(rr_new);
+    }
+    cluster_->complete_step();
+
+    ++j;
+    ++executed;
+  }
+
+  result.trajectory_iterations = j;
+  result.executed_iterations = executed;
+  result.modeled_time = cluster_->modeled_time() - model_t0;
+  result.wall_seconds = timer.seconds();
+  result.x = x_->gather_global();
+  result.r = r_->gather_global();
+  return result;
+}
+
+} // namespace esrp

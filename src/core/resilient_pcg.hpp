@@ -1,0 +1,196 @@
+// Distributed PCG with algorithm-based checkpoint-recovery — the paper's
+// Alg. 3 plus the failure-injection and recovery protocol of §4.
+//
+// Strategies:
+//   none — plain distributed PCG (the reference run; a failure without a
+//          recovery mechanism restarts the solver from scratch);
+//   esrp — exact state reconstruction with periodic storage. interval T = 1
+//          is classic per-iteration ESR; T >= 3 stores redundant copies in
+//          two consecutive ASpMV iterations every T iterations (the storage
+//          stage) and keeps a three-slot redundancy queue;
+//   imcr — in-memory buddy checkpoint-restart every T iterations.
+//
+// Failure model (paper §4/§5): one failure event per run; at the marked
+// iteration the affected ranks zero all their dynamic data (vector slices
+// and scalars) and then act as their own replacement nodes. The event is
+// injected after the SpMV/storage phase of the marked iteration, before the
+// alpha update. Static data (A, P, b) is assumed reloadable from safe
+// storage and its reload is not charged, as in the paper.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "comm/aspmv_plan.hpp"
+#include "comm/exchange.hpp"
+#include "comm/spmv_plan.hpp"
+#include "core/checkpoint_store.hpp"
+#include "core/reconstruction.hpp"
+#include "core/redundancy_queue.hpp"
+#include "netsim/cluster.hpp"
+#include "netsim/dist_vector.hpp"
+#include "netsim/failure.hpp"
+#include "precond/preconditioner.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+enum class Strategy { none, esrp, imcr };
+
+std::string to_string(Strategy s);
+
+struct ResilienceOptions {
+  Strategy strategy = Strategy::none;
+  index_t interval = 1;        ///< T, the checkpointing interval
+  int phi = 1;                 ///< redundant copies / supported failures
+  std::size_t queue_capacity = 3; ///< ESRP redundancy-queue slots
+  real_t rtol = 1e-8;          ///< convergence: ||r||_2 / ||b||_2 < rtol
+  index_t max_iterations = 200000; ///< cap on executed iteration bodies
+  real_t inner_rtol = 1e-14;   ///< reconstruction inner-solve tolerance
+  index_t inner_max_iterations = 0;
+  index_t inner_block_size = 10;
+  /// How the preconditioner enters Alg. 2 (paper reference [20]). The
+  /// matrix formulation needs Preconditioner::matrix_form() and skips the
+  /// P_{I_f,I_f} inner solve.
+  PrecondFormulation precond_formulation = PrecondFormulation::inverse;
+  /// With spare nodes (default, the paper's setting) the failed ranks act
+  /// as their own replacements. Without spares (paper §4 / reference [22],
+  /// ESRP only) the nearest surviving neighbors absorb the failed ranks'
+  /// index ranges after the reconstruction and the solve continues on the
+  /// repartitioned cluster; the retired ranks stay idle.
+  bool spare_nodes = true;
+  /// Periodically recompute r = b - A x explicitly every this many
+  /// iterations (0 = never). Residual replacement (the paper's reference
+  /// [27]) counters the drift between the recursive and the true residual
+  /// that the Eq. 2 metric measures.
+  index_t residual_replacement = 0;
+  FailureEvent failure; ///< convenience single event (paper §5 protocol)
+  /// Additional failure events. Each event fires once, at the first
+  /// execution of its iteration; events must have pairwise distinct
+  /// iterations. The paper injects exactly one event per run; multiple
+  /// events exercise repeated recoveries (redundancy is replenished by the
+  /// following storage stages / checkpoints).
+  std::vector<FailureEvent> extra_failures;
+};
+
+struct RecoveryRecord {
+  index_t failed_at = -1;      ///< iteration of the failure event
+  index_t restored_to = -1;    ///< iteration the solver resumed from
+  index_t wasted_iterations = 0; ///< failed_at - restored_to
+  double modeled_time = 0;     ///< modeled time of the recovery itself
+  index_t inner_iterations_precond = 0;
+  index_t inner_iterations_matrix = 0;
+  bool restarted_from_scratch = false; ///< no recoverable state existed
+};
+
+struct ResilientSolveResult {
+  bool converged = false;
+  index_t trajectory_iterations = 0; ///< iteration index at convergence
+  index_t executed_iterations = 0;   ///< bodies executed incl. redone ones
+  real_t final_relres = 0;
+  double modeled_time = 0;           ///< cluster modeled time of this solve
+  double wall_seconds = 0;           ///< host wall time (reference only)
+  std::vector<RecoveryRecord> recoveries;
+  Vector x; ///< gathered solution
+  Vector r; ///< gathered recursive residual (for the drift metric, Eq. 2)
+};
+
+/// Hook invoked at the top of every iteration body (before the SpMV phase):
+/// (j, x, r, z, p). Used by tests to snapshot the exact solver state.
+using IterationHook = std::function<void(index_t, const DistVector&,
+                                         const DistVector&, const DistVector&,
+                                         const DistVector&)>;
+
+class ResilientPcg {
+public:
+  /// `precond` must outlive the solver and must expose an explicit action
+  /// matrix whose rows are node-local (block Jacobi qualifies); this is
+  /// required by both the distributed application and the reconstruction.
+  ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
+               SimCluster& cluster, ResilienceOptions opts);
+
+  /// Solve A x = b from the zero initial guess (or `x0` when given).
+  ResilientSolveResult solve(std::span<const real_t> b,
+                             std::span<const real_t> x0 = {});
+
+  void set_iteration_hook(IterationHook hook) { hook_ = std::move(hook); }
+
+  const ResilienceOptions& options() const { return opts_; }
+  const SpmvPlan& spmv_plan() const { return *plan_; }
+  const AspmvPlan& aspmv_plan() const { return *aug_; }
+
+  /// Partition currently in effect (differs from the construction-time
+  /// partition after a no-spare recovery).
+  const BlockRowPartition& current_partition() const {
+    return cluster_->partition();
+  }
+
+  /// Introspection for tests: the redundancy-queue tags (oldest first) as of
+  /// the end of the last solve.
+  std::vector<index_t> queue_tags() const { return queue_.tags(); }
+  /// Latest reconstructable iteration (-1 if none) after the last solve.
+  index_t last_recoverable() const { return last_recoverable_; }
+
+private:
+  struct StarCopies {
+    explicit StarCopies(const BlockRowPartition& part)
+        : x(part), r(part), z(part), p(part) {}
+    index_t tag = -1;
+    DistVector x, r, z, p;
+  };
+
+  // Distributed primitives (all charge the cost model).
+  real_t dot(const DistVector& a, const DistVector& b);
+  std::pair<real_t, real_t> dot2(const DistVector& a, const DistVector& b,
+                                 const DistVector& c, const DistVector& d);
+  void axpy(DistVector& y, real_t alpha, const DistVector& x);
+  void xpby(DistVector& y, const DistVector& x, real_t beta);
+  void apply_precond(const DistVector& r, DistVector& z);
+
+  void initialize_state(std::span<const real_t> b, std::span<const real_t> x0);
+  void write_lost_entries(DistVector& v, std::span<const index_t> lost,
+                          std::span<const real_t> values);
+
+  /// Rebuild plans, engine, preconditioner blocks and state vectors on the
+  /// repartitioned cluster (no-spare recovery).
+  void repartition(std::span<const rank_t> failed);
+
+  /// Inject one failure event at iteration j_fail and recover.
+  /// Returns the iteration to resume from.
+  index_t inject_and_recover(const FailureEvent& event, index_t j_fail,
+                             std::span<const real_t> b,
+                             std::span<const real_t> x0,
+                             RecoveryRecord& record);
+
+  void build_precond_blocks();
+
+  const CsrMatrix* a_;
+  const Preconditioner* precond_;
+  SimCluster* cluster_;
+  ResilienceOptions opts_;
+  std::unique_ptr<BlockRowPartition> owned_part_; ///< set after repartition
+  std::unique_ptr<SpmvPlan> plan_;
+  std::unique_ptr<AspmvPlan> aug_;
+  std::unique_ptr<ExchangeEngine> engine_;
+  std::vector<CsrMatrix> precond_local_; ///< node-diagonal blocks of P
+
+  // Solver state (valid during solve()).
+  std::unique_ptr<DistVector> x_, r_, z_, p_, ap_;
+  real_t beta_ = 0;
+
+  // Resilience state.
+  RedundancyQueue queue_;
+  std::unique_ptr<StarCopies> stars_;
+  real_t beta_star_ = 0;
+  real_t beta_dstar_ = 0; ///< the paper's beta**, captured at mT
+  index_t last_recoverable_ = -1;
+  std::unique_ptr<CheckpointStore> checkpoint_;
+  std::vector<FailureEvent> events_; ///< merged failure + extra_failures
+
+  IterationHook hook_;
+};
+
+} // namespace esrp

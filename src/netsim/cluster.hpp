@@ -1,0 +1,88 @@
+// The simulated cluster: N nodes executing in BSP-style supersteps.
+//
+// Algorithms report their activity through three calls:
+//   add_compute(rank, flops)            — local floating-point work
+//   send(from, to, bytes, category)     — one point-to-point message
+//   complete_step()                     — barrier; advances modeled time by
+//                                         the slowest node of this superstep
+//   allreduce(num_scalars, category)    — synchronizing reduction (implies a
+//                                         barrier, charges 2 log2 N rounds)
+//
+// Modeled time is the metric the benches report (DESIGN.md §3.1); wall time
+// of the host process is measured separately by the experiment harness.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "netsim/comm_ledger.hpp"
+#include "netsim/cost_model.hpp"
+#include "partition/partition.hpp"
+
+namespace esrp {
+
+class SimCluster {
+public:
+  SimCluster(const BlockRowPartition& part, CostParams cost = CostParams{});
+
+  /// Rebind to a new partition with the same node count (no-spare-node
+  /// recovery: ownership moves to surviving ranks, the cluster keeps its
+  /// size). Requires an idle superstep.
+  void set_partition(const BlockRowPartition& part);
+
+  const BlockRowPartition& partition() const { return *part_; }
+  rank_t num_nodes() const { return part_->num_nodes(); }
+  const CostParams& cost_params() const { return cost_; }
+
+  /// Record `flops` floating-point operations on `rank` in this superstep.
+  void add_compute(rank_t rank, double flops);
+
+  /// Record a point-to-point message in this superstep. Self-sends are
+  /// rejected: a node never messages itself in any of the algorithms.
+  void send(rank_t from, rank_t to, std::size_t bytes, CommCategory cat);
+
+  /// Barrier: charge max-over-nodes (compute + send + recv) time for the
+  /// current superstep and reset the per-step counters.
+  void complete_step();
+
+  /// Synchronizing allreduce of `num_scalars` real_t values (dot products
+  /// in PCG reduce one or two scalars). Completes the current step first.
+  void allreduce(std::size_t num_scalars, CommCategory cat);
+
+  /// Non-blocking allreduce overlapped with the work recorded in the
+  /// current superstep (communication-hiding solvers, e.g. pipelined PCG):
+  /// the step is charged max(slowest node, allreduce time) instead of their
+  /// sum. Completes the superstep.
+  void allreduce_overlapped(std::size_t num_scalars, CommCategory cat);
+
+  /// Directly charge modeled time (used by the recovery code to account for
+  /// inner-solve collectives that run on the replacement-node subgroup,
+  /// which the per-node superstep counters do not capture). Completes the
+  /// current superstep first.
+  void charge_time(double seconds);
+
+  /// Total modeled time so far [s].
+  double modeled_time() const { return modeled_time_; }
+
+  /// Cumulative per-category communication totals.
+  const CommLedger& ledger() const { return ledger_; }
+
+  /// Reset modeled time and ledger (per-step counters must be empty).
+  void reset_accounting();
+
+private:
+  struct StepCounters {
+    double flops = 0;
+    double send_time = 0;
+    double recv_time = 0;
+  };
+
+  const BlockRowPartition* part_;
+  CostParams cost_;
+  CommLedger ledger_;
+  std::vector<StepCounters> step_;
+  double modeled_time_ = 0;
+  bool step_dirty_ = false;
+};
+
+} // namespace esrp

@@ -1,0 +1,17 @@
+#include "netsim/comm_ledger.hpp"
+
+namespace esrp {
+
+std::string to_string(CommCategory c) {
+  switch (c) {
+    case CommCategory::spmv_halo: return "spmv_halo";
+    case CommCategory::aspmv_extra: return "aspmv_extra";
+    case CommCategory::checkpoint: return "checkpoint";
+    case CommCategory::recovery: return "recovery";
+    case CommCategory::allreduce: return "allreduce";
+    case CommCategory::other: return "other";
+  }
+  return "?";
+}
+
+} // namespace esrp

@@ -1,0 +1,21 @@
+#include "netsim/cost_model.hpp"
+
+#include <cmath>
+
+namespace esrp {
+
+double message_time(const CostParams& p, std::size_t bytes) {
+  return p.alpha_s + static_cast<double>(bytes) * p.beta_s;
+}
+
+double allreduce_time(const CostParams& p, rank_t num_nodes, std::size_t bytes) {
+  if (num_nodes <= 1) return 0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(num_nodes)));
+  return 2.0 * rounds * (p.alpha_s + static_cast<double>(bytes) * p.beta_s);
+}
+
+double compute_time(const CostParams& p, double flops) {
+  return flops * p.gamma_s;
+}
+
+} // namespace esrp

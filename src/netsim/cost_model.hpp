@@ -1,0 +1,40 @@
+// Alpha-beta-gamma cost model for the simulated cluster.
+//
+// The paper measured wall-clock overheads on a 128-node fat-tree cluster; on
+// a single host the communication/computation ratio that produces those
+// overheads does not exist physically, so the simulator charges *modeled*
+// time instead (DESIGN.md §3.1):
+//
+//   point-to-point message of b bytes:   alpha + b * beta
+//   allreduce of b bytes over N nodes:   2 * ceil(log2 N) * (alpha + b*beta)
+//   f floating-point operations:         f * gamma
+//
+// Defaults approximate a commodity InfiniBand cluster (2 us latency, 5 GB/s
+// per-link bandwidth, 10 Gflop/s effective per-node rate for sparse kernels).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace esrp {
+
+struct CostParams {
+  double alpha_s = 2.0e-6;   ///< per-message latency [s]
+  double beta_s = 2.0e-10;   ///< per-byte transfer time [s] (1 / bandwidth)
+  double gamma_s = 1.0e-10;  ///< per-flop time [s] (1 / flop rate)
+
+  static constexpr std::size_t bytes_per_scalar = sizeof(real_t);
+};
+
+/// Time for one point-to-point message carrying `bytes` payload bytes.
+double message_time(const CostParams& p, std::size_t bytes);
+
+/// Time for an allreduce of `bytes` over `num_nodes` (recursive doubling:
+/// 2*ceil(log2 N) rounds; 0 for a single node).
+double allreduce_time(const CostParams& p, rank_t num_nodes, std::size_t bytes);
+
+/// Time for `flops` floating-point operations on one node.
+double compute_time(const CostParams& p, double flops);
+
+} // namespace esrp

@@ -1,0 +1,52 @@
+// A distributed vector: each simulated node owns the slice of entries given
+// by the block-row partition. Algorithms may only touch a node's slice via
+// `local()`; the global accessors exist for initialization, tests, and
+// diagnostics (a real cluster could not call them).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+#include "partition/partition.hpp"
+
+namespace esrp {
+
+class DistVector {
+public:
+  explicit DistVector(const BlockRowPartition& part);
+  DistVector(const BlockRowPartition& part, std::span<const real_t> global);
+
+  const BlockRowPartition& partition() const { return *part_; }
+  index_t global_size() const { return part_->global_size(); }
+
+  /// Node-local slice (mutable / const).
+  std::span<real_t> local(rank_t rank);
+  std::span<const real_t> local(rank_t rank) const;
+
+  /// Zero the slices of the given ranks — the data loss of a node failure.
+  void zero_ranks(std::span<const rank_t> ranks);
+
+  /// Zero all entries.
+  void zero_all();
+
+  /// Assemble the full vector (diagnostic/test use only).
+  Vector gather_global() const;
+
+  /// Scatter a full vector into the local slices.
+  void set_from_global(std::span<const real_t> global);
+
+  /// Copy all slices from another DistVector on the same partition.
+  void copy_from(const DistVector& other);
+
+  /// Entry access by global index (diagnostic/test use only).
+  real_t at(index_t i) const;
+  void set(index_t i, real_t v);
+
+private:
+  const BlockRowPartition* part_;
+  std::vector<Vector> local_;
+};
+
+} // namespace esrp

@@ -1,0 +1,35 @@
+#include "netsim/failure.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+std::vector<rank_t> contiguous_ranks(rank_t start, rank_t count,
+                                     rank_t num_nodes) {
+  ESRP_CHECK(num_nodes > 0);
+  ESRP_CHECK_MSG(count >= 0 && count <= num_nodes,
+                 "cannot fail " << count << " of " << num_nodes << " nodes");
+  ESRP_CHECK(start >= 0 && start < num_nodes);
+  std::vector<rank_t> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (rank_t k = 0; k < count; ++k)
+    out.push_back(static_cast<rank_t>((start + k) % num_nodes));
+  return out;
+}
+
+bool rank_in(std::span<const rank_t> ranks, rank_t rank) {
+  return std::find(ranks.begin(), ranks.end(), rank) != ranks.end();
+}
+
+std::vector<rank_t> surviving_ranks(std::span<const rank_t> failed,
+                                    rank_t num_nodes) {
+  std::vector<rank_t> out;
+  out.reserve(static_cast<std::size_t>(num_nodes) - failed.size());
+  for (rank_t s = 0; s < num_nodes; ++s)
+    if (!rank_in(failed, s)) out.push_back(s);
+  return out;
+}
+
+} // namespace esrp

@@ -1,0 +1,36 @@
+// Node-failure description and helpers. Failures follow the paper's
+// experimental protocol: one failure event per run, hitting a contiguous
+// block of ranks (a switch fault takes out a branch of the fat tree), with
+// the failed ranks doubling as their own replacements after losing all
+// dynamic data.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esrp {
+
+/// A single failure event: at the *start* of iteration `iteration` (before
+/// any work of that iteration), the given ranks lose all dynamic data.
+struct FailureEvent {
+  index_t iteration = -1;       ///< -1 disables the event
+  std::vector<rank_t> ranks;
+
+  bool enabled() const { return iteration >= 0 && !ranks.empty(); }
+};
+
+/// Contiguous block of `count` ranks starting at `start`, wrapping modulo
+/// `num_nodes` (paper §5: blocks starting at ranks 0 and 64).
+std::vector<rank_t> contiguous_ranks(rank_t start, rank_t count,
+                                     rank_t num_nodes);
+
+/// True iff `rank` is in `ranks`.
+bool rank_in(std::span<const rank_t> ranks, rank_t rank);
+
+/// Sorted copy of the surviving ranks (complement of `failed`).
+std::vector<rank_t> surviving_ranks(std::span<const rank_t> failed,
+                                    rank_t num_nodes);
+
+} // namespace esrp

@@ -1,0 +1,266 @@
+#include "pipelined/dist_pipelined_pcg.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "comm/aspmv_plan.hpp"
+#include "comm/exchange.hpp"
+#include "comm/spmv_plan.hpp"
+#include "common/error.hpp"
+
+namespace esrp {
+
+namespace {
+
+/// In-memory buddy checkpoint of the full pipelined state: eight recurrence
+/// vectors plus the two carried scalars.
+class PipelinedCheckpoint {
+public:
+  PipelinedCheckpoint(const BlockRowPartition& part, int phi)
+      : part_(&part), phi_(phi), vecs_{DistVector(part), DistVector(part),
+                                       DistVector(part), DistVector(part),
+                                       DistVector(part), DistVector(part),
+                                       DistVector(part), DistVector(part)} {}
+
+  bool has_checkpoint() const { return tag_ >= 0; }
+  index_t tag() const { return tag_; }
+
+  void store(index_t iteration, const std::array<const DistVector*, 8>& state,
+             real_t gamma_prev, real_t alpha_prev, SimCluster& cluster) {
+    tag_ = iteration;
+    for (std::size_t k = 0; k < 8; ++k) vecs_[k].copy_from(*state[k]);
+    gamma_prev_ = gamma_prev;
+    alpha_prev_ = alpha_prev;
+    const rank_t n_nodes = part_->num_nodes();
+    for (rank_t s = 0; s < n_nodes; ++s) {
+      const std::size_t bytes =
+          (8 * static_cast<std::size_t>(part_->local_size(s)) + 2) *
+          CostParams::bytes_per_scalar;
+      for (int k = 1; k <= phi_; ++k)
+        cluster.send(s, designated_destination(s, k, n_nodes), bytes,
+                     CommCategory::checkpoint);
+    }
+    cluster.complete_step();
+  }
+
+  bool restore(std::span<const rank_t> failed,
+               const std::array<DistVector*, 8>& state, real_t& gamma_prev,
+               real_t& alpha_prev, SimCluster& cluster) const {
+    ESRP_CHECK(has_checkpoint());
+    for (rank_t s : failed) {
+      bool found = false;
+      for (int k = 1; k <= phi_ && !found; ++k)
+        found = !rank_in(failed,
+                         designated_destination(s, k, part_->num_nodes()));
+      if (!found) return false;
+    }
+    for (std::size_t k = 0; k < 8; ++k) state[k]->copy_from(vecs_[k]);
+    gamma_prev = gamma_prev_;
+    alpha_prev = alpha_prev_;
+    for (rank_t s : failed) {
+      for (int k = 1; k <= phi_; ++k) {
+        const rank_t buddy = designated_destination(s, k, part_->num_nodes());
+        if (rank_in(failed, buddy)) continue;
+        cluster.send(buddy, s,
+                     (8 * static_cast<std::size_t>(part_->local_size(s)) + 2) *
+                         CostParams::bytes_per_scalar,
+                     CommCategory::recovery);
+        break;
+      }
+    }
+    cluster.complete_step();
+    return true;
+  }
+
+private:
+  const BlockRowPartition* part_;
+  int phi_;
+  index_t tag_ = -1;
+  std::array<DistVector, 8> vecs_;
+  real_t gamma_prev_ = 0;
+  real_t alpha_prev_ = 0;
+};
+
+} // namespace
+
+DistPipelinedPcg::DistPipelinedPcg(const CsrMatrix& a,
+                                   const Preconditioner& precond,
+                                   SimCluster& cluster,
+                                   DistPipelinedOptions opts)
+    : a_(&a), precond_(&precond), cluster_(&cluster), opts_(opts) {
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(a.rows() == cluster.partition().global_size());
+  ESRP_CHECK(precond.dim() == a.rows());
+  ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
+                 "distributed pipelined PCG requires an explicit "
+                 "preconditioner action");
+  ESRP_CHECK_MSG(opts_.strategy != Strategy::esrp,
+                 "exact state reconstruction for pipelined PCG is the "
+                 "contribution of Levonyak et al. [16] and is not "
+                 "implemented; use Strategy::imcr or Strategy::none");
+}
+
+DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
+  const BlockRowPartition& part = cluster_->partition();
+  const index_t n = a_->rows();
+  ESRP_CHECK(static_cast<index_t>(b.size()) == n);
+  const double model_t0 = cluster_->modeled_time();
+
+  const SpmvPlan plan(*a_, part);
+  ExchangeEngine engine(*a_, plan, *cluster_);
+
+  // Node-local preconditioner blocks (same requirement as ResilientPcg).
+  std::vector<CsrMatrix> p_local;
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const IndexSet range = index_range(part.begin(s), part.end(s));
+    p_local.push_back(precond_->action_matrix()->extract(range, range));
+  }
+  auto apply_precond = [&](const DistVector& in, DistVector& out) {
+    for (rank_t s = 0; s < part.num_nodes(); ++s) {
+      const CsrMatrix& ps = p_local[static_cast<std::size_t>(s)];
+      ps.spmv(in.local(s), out.local(s));
+      cluster_->add_compute(s, static_cast<double>(ps.spmv_flops()));
+    }
+  };
+  auto local_dot = [&](const DistVector& u, const DistVector& v) {
+    real_t total = 0;
+    for (rank_t s = 0; s < part.num_nodes(); ++s) {
+      total += vec_dot(u.local(s), v.local(s));
+      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+    }
+    return total;
+  };
+  auto local_xpby = [&](DistVector& y, const DistVector& xv, real_t beta) {
+    for (rank_t s = 0; s < part.num_nodes(); ++s) {
+      vec_xpby(y.local(s), xv.local(s), beta);
+      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+    }
+  };
+  auto local_axpy = [&](DistVector& y, real_t alpha, const DistVector& xv) {
+    for (rank_t s = 0; s < part.num_nodes(); ++s) {
+      vec_axpy(y.local(s), alpha, xv.local(s));
+      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
+    }
+  };
+
+  DistPipelinedResult result;
+  DistVector x(part), r(part), u(part), w(part), m(part), nv(part);
+  DistVector z(part), q(part), s(part), p(part);
+  real_t gamma_prev = 0, alpha_prev = 0;
+
+  DistVector b_dist(part, b);
+  const real_t bnorm = std::sqrt(local_dot(b_dist, b_dist));
+  cluster_->allreduce(1, CommCategory::allreduce);
+  ESRP_CHECK_MSG(bnorm > 0, "right-hand side must be non-zero");
+
+  auto initialize = [&] {
+    x.zero_all();
+    r.set_from_global(b); // zero initial guess
+    apply_precond(r, u);
+    engine.spmv(u, w);
+    z.zero_all();
+    q.zero_all();
+    s.zero_all();
+    p.zero_all();
+    gamma_prev = alpha_prev = 0;
+  };
+  initialize();
+
+  std::unique_ptr<PipelinedCheckpoint> checkpoint;
+  if (opts_.strategy == Strategy::imcr)
+    checkpoint = std::make_unique<PipelinedCheckpoint>(part, opts_.phi);
+
+  index_t j = 0;
+  index_t executed = 0;
+  bool injected = false;
+
+  while (executed < opts_.max_iterations) {
+    if (opts_.strategy == Strategy::imcr && j > 0 &&
+        j % opts_.interval == 0 && checkpoint->tag() != j) {
+      checkpoint->store(j, {&x, &r, &u, &w, &z, &q, &s, &p}, gamma_prev,
+                        alpha_prev, *cluster_);
+    }
+
+    // Local dot contributions, then post the allreduce and overlap it with
+    // the preconditioner application and the SpMV.
+    const real_t gamma = local_dot(r, u);
+    const real_t delta = local_dot(w, u);
+    const real_t rr = local_dot(r, r);
+    apply_precond(w, m);
+    engine.spmv(m, nv, /*complete_step=*/false);
+    cluster_->allreduce_overlapped(3, CommCategory::allreduce);
+
+    result.final_relres = std::sqrt(rr) / bnorm;
+    if (result.final_relres < opts_.rtol) {
+      result.converged = true;
+      break;
+    }
+
+    // Failure injection point: after the SpMV phase, as in ResilientPcg.
+    if (!injected && opts_.failure.enabled() &&
+        j == opts_.failure.iteration) {
+      injected = true;
+      RecoveryRecord record;
+      record.failed_at = j;
+      const std::span<const rank_t> failed = opts_.failure.ranks;
+      for (DistVector* v :
+           {&x, &r, &u, &w, &m, &nv, &z, &q, &s, &p})
+        v->zero_ranks(failed);
+      const double t0 = cluster_->modeled_time();
+      bool recovered = false;
+      if (checkpoint && checkpoint->has_checkpoint()) {
+        recovered = checkpoint->restore(failed, {&x, &r, &u, &w, &z, &q, &s,
+                                                 &p},
+                                        gamma_prev, alpha_prev, *cluster_);
+        if (recovered) j = checkpoint->tag();
+      }
+      if (!recovered) {
+        initialize();
+        j = 0;
+        record.restarted_from_scratch = true;
+      }
+      record.restored_to = j;
+      record.wasted_iterations = record.failed_at - j;
+      record.modeled_time = cluster_->modeled_time() - t0;
+      result.recoveries.push_back(record);
+      ++executed;
+      continue;
+    }
+
+    real_t alpha, beta;
+    if (gamma_prev == 0) {
+      beta = 0;
+      ESRP_CHECK_MSG(delta > 0, "w^T u <= 0: operator not SPD");
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gamma_prev;
+      const real_t denom = delta - beta * gamma / alpha_prev;
+      ESRP_CHECK_MSG(denom != 0, "pipelined PCG breakdown at iteration " << j);
+      alpha = gamma / denom;
+    }
+
+    local_xpby(z, nv, beta);
+    local_xpby(q, m, beta);
+    local_xpby(s, w, beta);
+    local_xpby(p, u, beta);
+    local_axpy(x, alpha, p);
+    local_axpy(r, -alpha, s);
+    local_axpy(u, -alpha, q);
+    local_axpy(w, -alpha, z);
+    cluster_->complete_step();
+
+    gamma_prev = gamma;
+    alpha_prev = alpha;
+    ++j;
+    ++executed;
+  }
+
+  result.trajectory_iterations = j;
+  result.executed_iterations = executed;
+  result.modeled_time = cluster_->modeled_time() - model_t0;
+  result.x = x.gather_global();
+  result.r = r.gather_global();
+  return result;
+}
+
+} // namespace esrp

@@ -1,0 +1,97 @@
+#include "pipelined/pipelined_pcg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
+                                       std::span<const real_t> b,
+                                       std::span<real_t> x,
+                                       const Preconditioner* precond,
+                                       const PipelinedPcgOptions& opts) {
+  const index_t n = a.rows();
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(static_cast<index_t>(b.size()) == n);
+  ESRP_CHECK(static_cast<index_t>(x.size()) == n);
+
+  PipelinedPcgResult result;
+  const index_t max_iter =
+      opts.max_iterations > 0 ? opts.max_iterations : 10 * std::max<index_t>(n, 1);
+  const real_t bnorm = vec_norm2(b);
+  if (bnorm == real_t{0}) {
+    vec_zero(x);
+    result.converged = true;
+    return result;
+  }
+
+  const auto nn = static_cast<std::size_t>(n);
+  Vector r(nn), u(nn), w(nn), m(nn), nv(nn);
+  Vector z(nn, 0), q(nn, 0), s(nn, 0), p(nn, 0);
+
+  auto apply_precond = [&](std::span<const real_t> in, std::span<real_t> out) {
+    if (precond) {
+      precond->apply(in, out);
+      result.flops += precond->apply_flops();
+    } else {
+      vec_copy(in, out);
+    }
+  };
+
+  // r = b - A x; u = P r; w = A u.
+  a.spmv(x, r);
+  for (std::size_t i = 0; i < nn; ++i) r[i] = b[i] - r[i];
+  apply_precond(r, u);
+  a.spmv(u, w);
+  result.flops += 2.0 * static_cast<double>(a.spmv_flops());
+
+  real_t gamma_prev = 0, alpha_prev = 0;
+  for (index_t j = 0; j < max_iter; ++j) {
+    const real_t gamma = vec_dot(r, u);
+    const real_t delta = vec_dot(w, u);
+    const real_t rr = vec_dot(r, r);
+    result.flops += 6.0 * static_cast<double>(n);
+
+    result.final_relres = std::sqrt(rr) / bnorm;
+    if (result.final_relres < opts.rtol) {
+      result.converged = true;
+      result.iterations = j;
+      return result;
+    }
+
+    apply_precond(w, m);
+    a.spmv(m, nv);
+    result.flops += static_cast<double>(a.spmv_flops());
+
+    real_t alpha, beta;
+    if (j == 0) {
+      beta = 0;
+      ESRP_CHECK_MSG(delta > 0, "w^T u <= 0: matrix or preconditioner not SPD");
+      alpha = gamma / delta;
+    } else {
+      beta = gamma / gamma_prev;
+      const real_t denom = delta - beta * gamma / alpha_prev;
+      ESRP_CHECK_MSG(denom != 0, "pipelined PCG breakdown at iteration " << j);
+      alpha = gamma / denom;
+    }
+
+    vec_xpby(z, nv, beta);
+    vec_xpby(q, m, beta);
+    vec_xpby(s, w, beta);
+    vec_xpby(p, u, beta);
+    vec_axpy(x, alpha, p);
+    vec_axpy(r, -alpha, s);
+    vec_axpy(u, -alpha, q);
+    vec_axpy(w, -alpha, z);
+    result.flops += 16.0 * static_cast<double>(n);
+
+    gamma_prev = gamma;
+    alpha_prev = alpha;
+  }
+
+  result.iterations = max_iter;
+  return result;
+}
+
+} // namespace esrp

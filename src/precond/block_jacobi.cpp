@@ -1,0 +1,83 @@
+#include "precond/block_jacobi.hpp"
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/dense.hpp"
+
+namespace esrp {
+
+std::vector<index_t> uniform_blocks(index_t lo, index_t hi,
+                                    index_t max_block_size) {
+  ESRP_CHECK(lo <= hi);
+  ESRP_CHECK(max_block_size >= 1);
+  std::vector<index_t> starts{lo};
+  const index_t len = hi - lo;
+  if (len == 0) return starts;
+  const index_t nblocks = (len + max_block_size - 1) / max_block_size;
+  const index_t base = len / nblocks;
+  const index_t extra = len % nblocks;
+  index_t pos = lo;
+  for (index_t b = 0; b < nblocks; ++b) {
+    pos += base + (b < extra ? 1 : 0);
+    starts.push_back(pos);
+  }
+  ESRP_CHECK(starts.back() == hi);
+  return starts;
+}
+
+BlockJacobiPreconditioner::BlockJacobiPreconditioner(
+    const CsrMatrix& a, const BlockRowPartition& part, index_t max_block_size) {
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(a.rows() == part.global_size());
+  starts_ = {0};
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const auto node_blocks = uniform_blocks(part.begin(s), part.end(s),
+                                            max_block_size);
+    starts_.insert(starts_.end(), node_blocks.begin() + 1, node_blocks.end());
+  }
+  build(a);
+}
+
+BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
+                                                     index_t max_block_size) {
+  ESRP_CHECK(a.rows() == a.cols());
+  starts_ = uniform_blocks(0, a.rows(), max_block_size);
+  build(a);
+}
+
+void BlockJacobiPreconditioner::build(const CsrMatrix& a) {
+  CooBuilder inv_builder(a.rows(), a.rows());
+  CooBuilder mat_builder(a.rows(), a.rows());
+  for (std::size_t b = 0; b + 1 < starts_.size(); ++b) {
+    const index_t lo = starts_[b], hi = starts_[b + 1];
+    const index_t len = hi - lo;
+    if (len == 0) continue;
+    DenseMatrix block(len, len);
+    for (index_t i = lo; i < hi; ++i) {
+      const auto cols = a.row_cols(i);
+      const auto vals = a.row_vals(i);
+      for (std::size_t k = 0; k < cols.size(); ++k) {
+        const index_t j = cols[k];
+        if (j >= lo && j < hi) {
+          block(i - lo, j - lo) = vals[k];
+          mat_builder.add(i, j, vals[k]);
+        }
+      }
+    }
+    const DenseMatrix inv = Cholesky(block).inverse();
+    for (index_t bi = 0; bi < len; ++bi)
+      for (index_t bj = 0; bj < len; ++bj) {
+        const real_t v = inv(bi, bj);
+        if (v != real_t{0}) inv_builder.add(lo + bi, lo + bj, v);
+      }
+  }
+  p_ = inv_builder.to_csr();
+  m_ = mat_builder.to_csr();
+}
+
+void BlockJacobiPreconditioner::apply(std::span<const real_t> r,
+                                      std::span<real_t> z) const {
+  p_.spmv(r, z);
+}
+
+} // namespace esrp

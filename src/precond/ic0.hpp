@@ -1,0 +1,32 @@
+// Incomplete Cholesky factorization with zero fill-in, IC(0): A ~ L L^T with
+// L restricted to the sparsity pattern of tril(A). Applied via two sparse
+// triangular solves. One of the "more appropriate preconditioners" the
+// paper's conclusions point to; like SSOR it has no explicit sparse action
+// matrix, so it is available to the plain solver and ablations only.
+#pragma once
+
+#include "precond/preconditioner.hpp"
+
+namespace esrp {
+
+class Ic0Preconditioner final : public Preconditioner {
+public:
+  /// Throws esrp::Error if a pivot becomes non-positive (possible for
+  /// general SPD matrices; the usual remedy is a diagonal shift, exposed as
+  /// `shift` multiplying the diagonal).
+  explicit Ic0Preconditioner(const CsrMatrix& a, real_t shift = 0.0);
+
+  std::string name() const override { return "ic0"; }
+  index_t dim() const override { return l_.rows(); }
+  void apply(std::span<const real_t> r, std::span<real_t> z) const override;
+  double apply_flops() const override {
+    return 4.0 * static_cast<double>(l_.nnz());
+  }
+
+  const CsrMatrix& factor() const { return l_; }
+
+private:
+  CsrMatrix l_; // lower-triangular factor, diagonal included
+};
+
+} // namespace esrp

@@ -1,0 +1,70 @@
+// Preconditioner interface.
+//
+// PCG applies the preconditioner as a linear operator: z = P r (paper Alg. 1,
+// line 6, with P the *action*, i.e. P ~ A^{-1}). The ESR/ESRP reconstruction
+// (Alg. 2) additionally needs P as an explicit matrix, because it solves
+//   P_{I_f,I_f} r_{I_f} = z_{I_f} - P_{I_f,I\I_f} r_{I\I_f}.
+// Preconditioners that can materialize their action as a sparse matrix
+// return it from action_matrix(); the others (SSOR, IC(0)) can be used with
+// the plain solver but not with ESR/ESRP reconstruction — exactly the
+// formulation question the paper's reference [20] addresses.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "common/types.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+class Preconditioner {
+public:
+  virtual ~Preconditioner() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Dimension of the (square) operator.
+  virtual index_t dim() const = 0;
+
+  /// z := P r (the preconditioner action).
+  virtual void apply(std::span<const real_t> r, std::span<real_t> z) const = 0;
+
+  /// Explicit CSR of the action (z = action_matrix() * r), or nullptr when
+  /// the action is only available as an algorithm. This is the "inverse
+  /// formulation" of the paper's reference [20]: P ~ A^{-1} as a matrix.
+  virtual const CsrMatrix* action_matrix() const { return nullptr; }
+
+  /// Explicit CSR of the preconditioner *matrix* M with z defined by
+  /// M z = r (the "preconditioner itself" formulation of [20]), or nullptr.
+  /// When available, the Alg. 2 reconstruction can recover r without an
+  /// inner solve: r_{I_f} = M_{I_f,I} z (see reconstruction.hpp).
+  virtual const CsrMatrix* matrix_form() const { return nullptr; }
+
+  /// Floating-point cost of one apply() (for the cost model).
+  virtual double apply_flops() const = 0;
+};
+
+/// Identity preconditioner: PCG degenerates to plain CG.
+class IdentityPreconditioner final : public Preconditioner {
+public:
+  explicit IdentityPreconditioner(index_t n) : n_(n), p_(csr_identity(n)) {}
+
+  std::string name() const override { return "identity"; }
+  index_t dim() const override { return n_; }
+
+  void apply(std::span<const real_t> r, std::span<real_t> z) const override {
+    ESRP_CHECK(static_cast<index_t>(r.size()) == n_ && r.size() == z.size());
+    std::copy(r.begin(), r.end(), z.begin());
+  }
+
+  const CsrMatrix* action_matrix() const override { return &p_; }
+  const CsrMatrix* matrix_form() const override { return &p_; }
+  double apply_flops() const override { return static_cast<double>(n_); }
+
+private:
+  index_t n_;
+  CsrMatrix p_;
+};
+
+} // namespace esrp

@@ -1,0 +1,46 @@
+#include "precond/ssor.hpp"
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+SsorPreconditioner::SsorPreconditioner(const CsrMatrix& a, real_t omega)
+    : a_(a), diag_(a.diagonal()), omega_(omega) {
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK_MSG(omega > 0 && omega < 2, "SSOR requires omega in (0,2)");
+  for (index_t i = 0; i < a.rows(); ++i)
+    ESRP_CHECK_MSG(diag_[static_cast<std::size_t>(i)] > 0,
+                   "non-positive diagonal entry at row " << i);
+}
+
+void SsorPreconditioner::apply(std::span<const real_t> r,
+                               std::span<real_t> z) const {
+  const index_t n = a_.rows();
+  ESRP_CHECK(static_cast<index_t>(r.size()) == n && r.size() == z.size());
+  const real_t w = omega_;
+
+  // Forward sweep: (D/w + L) u = r, stored into z.
+  for (index_t i = 0; i < n; ++i) {
+    real_t acc = r[static_cast<std::size_t>(i)];
+    const auto cols = a_.row_cols(i);
+    const auto vals = a_.row_vals(i);
+    for (std::size_t k = 0; k < cols.size() && cols[k] < i; ++k)
+      acc -= vals[k] * z[static_cast<std::size_t>(cols[k])];
+    z[static_cast<std::size_t>(i)] = acc * w / diag_[static_cast<std::size_t>(i)];
+  }
+  // Scale: v = ((2 - w)/w) D u.
+  for (index_t i = 0; i < n; ++i)
+    z[static_cast<std::size_t>(i)] *=
+        (2 - w) / w * diag_[static_cast<std::size_t>(i)];
+  // Backward sweep: (D/w + U) z = v. U entries are cols[k] > i (symmetry).
+  for (index_t i = n - 1; i >= 0; --i) {
+    real_t acc = z[static_cast<std::size_t>(i)];
+    const auto cols = a_.row_cols(i);
+    const auto vals = a_.row_vals(i);
+    for (std::size_t k = cols.size(); k-- > 0 && cols[k] > i;)
+      acc -= vals[k] * z[static_cast<std::size_t>(cols[k])];
+    z[static_cast<std::size_t>(i)] = acc * w / diag_[static_cast<std::size_t>(i)];
+  }
+}
+
+} // namespace esrp

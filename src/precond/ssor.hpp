@@ -1,0 +1,31 @@
+// SSOR preconditioner:
+//   M = 1/(omega (2 - omega)) (D + omega L) D^{-1} (D + omega L)^T,
+// applied as z = M^{-1} r via one forward and one backward triangular sweep.
+// Its action cannot be materialized sparsely, so action_matrix() is nullptr:
+// SSOR works with the plain PCG solver and the precond ablation, but not
+// with ESR/ESRP reconstruction (see preconditioner.hpp).
+#pragma once
+
+#include "precond/preconditioner.hpp"
+
+namespace esrp {
+
+class SsorPreconditioner final : public Preconditioner {
+public:
+  /// Requires a symmetric matrix with positive diagonal; omega in (0, 2).
+  explicit SsorPreconditioner(const CsrMatrix& a, real_t omega = 1.0);
+
+  std::string name() const override { return "ssor"; }
+  index_t dim() const override { return a_.rows(); }
+  void apply(std::span<const real_t> r, std::span<real_t> z) const override;
+  double apply_flops() const override {
+    return 4.0 * static_cast<double>(a_.nnz());
+  }
+
+private:
+  CsrMatrix a_;
+  Vector diag_;
+  real_t omega_;
+};
+
+} // namespace esrp

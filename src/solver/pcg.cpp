@@ -1,0 +1,90 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+PcgResult pcg_solve(const CsrMatrix& a, std::span<const real_t> b,
+                    std::span<real_t> x, const Preconditioner* precond,
+                    const PcgOptions& opts,
+                    const IterationCallback& on_iteration) {
+  const index_t n = a.rows();
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(static_cast<index_t>(b.size()) == n);
+  ESRP_CHECK(static_cast<index_t>(x.size()) == n);
+  if (precond) ESRP_CHECK(precond->dim() == n);
+
+  PcgResult result;
+  const index_t max_iter =
+      opts.max_iterations > 0 ? opts.max_iterations : 10 * std::max<index_t>(n, 1);
+
+  const real_t bnorm = vec_norm2(b);
+  if (bnorm == real_t{0}) {
+    // b = 0: the solution is x = 0 (A is SPD, hence nonsingular).
+    vec_zero(x);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r(static_cast<std::size_t>(n));
+  Vector z(static_cast<std::size_t>(n));
+  Vector p(static_cast<std::size_t>(n));
+  Vector ap(static_cast<std::size_t>(n));
+
+  auto apply_precond = [&](std::span<const real_t> in, std::span<real_t> out) {
+    if (precond) {
+      precond->apply(in, out);
+      result.flops += precond->apply_flops();
+    } else {
+      vec_copy(in, out);
+    }
+  };
+
+  // r(0) = b - A x(0); z(0) = P r(0); p(0) = z(0).
+  a.spmv(x, r);
+  result.flops += static_cast<double>(a.spmv_flops());
+  for (index_t i = 0; i < n; ++i)
+    r[static_cast<std::size_t>(i)] = b[static_cast<std::size_t>(i)] -
+                                     r[static_cast<std::size_t>(i)];
+  apply_precond(r, z);
+  vec_copy(z, p);
+
+  real_t rz = vec_dot(r, z);
+  real_t rnorm = vec_norm2(r);
+  result.flops += 4.0 * static_cast<double>(n);
+
+  for (index_t j = 0; j < max_iter; ++j) {
+    result.final_relres = rnorm / bnorm;
+    if (on_iteration) on_iteration(j, result.final_relres);
+    if (result.final_relres < opts.rtol) {
+      result.converged = true;
+      result.iterations = j;
+      return result;
+    }
+
+    a.spmv(p, ap);
+    const real_t pap = vec_dot(p, ap);
+    ESRP_CHECK_MSG(pap > 0, "p^T A p = " << pap
+                                         << " <= 0: matrix not SPD "
+                                            "(or severe breakdown)");
+    const real_t alpha = rz / pap;
+    vec_axpy(x, alpha, p);
+    vec_axpy(r, -alpha, ap);
+    apply_precond(r, z);
+    const real_t rz_next = vec_dot(r, z);
+    const real_t beta = rz_next / rz;
+    rz = rz_next;
+    vec_xpby(p, z, beta);
+    rnorm = vec_norm2(r);
+    result.flops += static_cast<double>(a.spmv_flops()) +
+                    12.0 * static_cast<double>(n);
+  }
+
+  result.iterations = max_iter;
+  result.final_relres = rnorm / bnorm;
+  return result;
+}
+
+} // namespace esrp

@@ -1,0 +1,47 @@
+// Coordinate-format (triplet) builder for sparse matrices. All assembly
+// (generators, Matrix Market reader, test fixtures) goes through CooBuilder,
+// which deduplicates by summing and converts to CSR.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace esrp {
+
+class CsrMatrix;
+
+class CooBuilder {
+public:
+  CooBuilder(index_t rows, index_t cols);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  /// Number of raw (possibly duplicate) triplets added so far.
+  std::size_t triplet_count() const { return entries_.size(); }
+
+  /// Queue the triplet (i, j, v); duplicates are summed at conversion time.
+  void add(index_t i, index_t j, real_t v);
+
+  /// Queue (i, j, v) and, if i != j, also (j, i, v). Convenient for
+  /// assembling symmetric operators from their lower/upper triangle.
+  void add_sym(index_t i, index_t j, real_t v);
+
+  /// Sort, combine duplicates, drop explicit zeros, and emit CSR.
+  /// The builder remains usable afterwards (its triplets are untouched).
+  CsrMatrix to_csr() const;
+
+private:
+  struct Triplet {
+    index_t row;
+    index_t col;
+    real_t value;
+  };
+
+  index_t rows_;
+  index_t cols_;
+  std::vector<Triplet> entries_;
+};
+
+} // namespace esrp

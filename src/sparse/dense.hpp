@@ -1,0 +1,72 @@
+// Small dense-matrix support: column-major storage, Cholesky factorization
+// and triangular solves. Used for (a) inverting the block Jacobi blocks
+// (paper: block size <= 10) and (b) dense reference computations in tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+
+namespace esrp {
+
+class CsrMatrix;
+
+class DenseMatrix {
+public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(index_t rows, index_t cols);
+
+  static DenseMatrix identity(index_t n);
+  static DenseMatrix from_csr(const CsrMatrix& a);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+
+  real_t& operator()(index_t i, index_t j);
+  real_t operator()(index_t i, index_t j) const;
+
+  /// y := A x.
+  void matvec(std::span<const real_t> x, std::span<real_t> y) const;
+
+  DenseMatrix transpose() const;
+  DenseMatrix multiply(const DenseMatrix& b) const;
+
+  /// Maximum absolute entry difference against `other`.
+  real_t max_abs_diff(const DenseMatrix& other) const;
+
+  bool is_symmetric(real_t tol = 1e-12) const;
+
+private:
+  index_t rows_;
+  index_t cols_;
+  std::vector<real_t> data_; // column-major
+};
+
+/// Cholesky factorization A = L L^T of an SPD matrix; throws esrp::Error if a
+/// non-positive pivot is encountered (matrix not SPD to working precision).
+class Cholesky {
+public:
+  explicit Cholesky(const DenseMatrix& a);
+
+  index_t dim() const { return l_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(std::span<const real_t> b) const;
+
+  /// Dense inverse A^{-1} (used to materialize block Jacobi actions).
+  DenseMatrix inverse() const;
+
+  /// log(det(A)) from the factor (sanity metric in tests).
+  real_t log_det() const;
+
+private:
+  DenseMatrix l_;
+};
+
+/// Dense Gaussian-elimination solve with partial pivoting, for general
+/// (non-SPD) reference solves in tests.
+Vector dense_solve(const DenseMatrix& a, std::span<const real_t> b);
+
+} // namespace esrp

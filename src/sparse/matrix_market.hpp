@@ -1,0 +1,27 @@
+// Matrix Market (coordinate, real) reader/writer. The paper's test matrices
+// come from the SuiteSparse collection in this format; users with access to
+// Emilia_923 / audikw_1 can load the originals, while the benches fall back
+// to the synthetic generators (see generators.hpp).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+/// Parse a Matrix Market stream. Supports `matrix coordinate real/integer
+/// general|symmetric`; symmetric files are expanded to full storage.
+/// Throws esrp::Error on malformed input.
+CsrMatrix read_matrix_market(std::istream& in);
+
+/// Convenience wrapper; throws esrp::Error if the file cannot be opened.
+CsrMatrix read_matrix_market_file(const std::string& path);
+
+/// Write in `coordinate real general` format (1-based indices).
+void write_matrix_market(std::ostream& out, const CsrMatrix& a);
+
+void write_matrix_market_file(const std::string& path, const CsrMatrix& a);
+
+} // namespace esrp

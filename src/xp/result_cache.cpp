@@ -1,0 +1,69 @@
+#include "xp/result_cache.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace esrp::xp {
+
+std::string ResultCache::default_path() {
+  if (const char* dir = std::getenv("ESRP_CACHE_DIR"))
+    return std::string(dir) + "/xp_cache.tsv";
+  return "xp_cache.tsv";
+}
+
+ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
+  std::ifstream in(path_);
+  if (!in.is_open()) return;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream is(line);
+    std::string key;
+    if (!std::getline(is, key, '\t')) continue;
+    RunOutcome o;
+    int converged = 0, restarted = 0;
+    is >> converged >> o.iterations >> o.executed >> o.wasted >>
+        o.modeled_time >> o.recovery_time >> o.wall_seconds >>
+        o.final_relres >> o.drift >> restarted;
+    if (is.fail()) continue;
+    o.converged = converged != 0;
+    o.restarted = restarted != 0;
+    entries_[key] = o;
+  }
+}
+
+std::optional<RunOutcome> ResultCache::lookup(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void ResultCache::store(const std::string& key, const RunOutcome& o) {
+  entries_[key] = o;
+  std::ofstream out(path_, std::ios::app);
+  if (!out.is_open()) {
+    log_warn("result cache: cannot append to ", path_);
+    return;
+  }
+  out.precision(17);
+  out << key << '\t' << (o.converged ? 1 : 0) << ' ' << o.iterations << ' '
+      << o.executed << ' ' << o.wasted << ' ' << o.modeled_time << ' '
+      << o.recovery_time << ' ' << o.wall_seconds << ' ' << o.final_relres
+      << ' ' << o.drift << ' ' << (o.restarted ? 1 : 0) << '\n';
+}
+
+RunOutcome ResultCache::get_or_run(const CsrMatrix& a,
+                                   std::span<const real_t> b,
+                                   const std::string& problem,
+                                   const RunConfig& cfg) {
+  const std::string key = cfg.cache_key(problem);
+  if (auto hit = lookup(key)) return *hit;
+  const RunOutcome out = run_experiment(a, b, cfg);
+  store(key, out);
+  return out;
+}
+
+} // namespace esrp::xp

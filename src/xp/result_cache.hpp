@@ -1,0 +1,41 @@
+// Tiny on-disk cache of experiment outcomes. The table and figure benches
+// of one matrix share the exact same run grid; the figure benches reuse
+// cached results instead of re-solving. The cache file is plain
+// tab-separated text keyed by RunConfig::cache_key(); delete it to force
+// recomputation. The simulation is deterministic, so cached and fresh
+// results are identical.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "xp/experiment.hpp"
+
+namespace esrp::xp {
+
+class ResultCache {
+public:
+  /// Opens (or creates on first store) the cache at `path`. The default
+  /// path is "$ESRP_CACHE_DIR/xp_cache.tsv" or "./xp_cache.tsv".
+  explicit ResultCache(std::string path = default_path());
+
+  static std::string default_path();
+
+  std::optional<RunOutcome> lookup(const std::string& key) const;
+
+  /// Insert and append to the backing file.
+  void store(const std::string& key, const RunOutcome& outcome);
+
+  /// Run-or-reuse helper.
+  RunOutcome get_or_run(const CsrMatrix& a, std::span<const real_t> b,
+                        const std::string& problem, const RunConfig& cfg);
+
+  std::size_t size() const { return entries_.size(); }
+
+private:
+  std::string path_;
+  std::map<std::string, RunOutcome> entries_;
+};
+
+} // namespace esrp::xp

@@ -1,0 +1,54 @@
+#include "xp/table.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esrp::xp {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers,
+                           std::vector<int> widths, std::ostream& out)
+    : headers_(std::move(headers)), widths_(std::move(widths)), out_(&out) {
+  ESRP_CHECK(headers_.size() == widths_.size());
+}
+
+void TablePrinter::print_header() {
+  print_rule();
+  std::vector<std::string> cells(headers_.begin(), headers_.end());
+  print_row(cells);
+  print_rule();
+}
+
+void TablePrinter::print_rule() {
+  for (int w : widths_) *out_ << '+' << std::string(static_cast<std::size_t>(w) + 2, '-');
+  *out_ << "+\n";
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) {
+  ESRP_CHECK(cells.size() == widths_.size());
+  for (std::size_t k = 0; k < cells.size(); ++k) {
+    *out_ << "| " << std::setw(widths_[k]) << std::left << cells[k] << ' ';
+  }
+  *out_ << "|\n";
+}
+
+std::string format_percent(double fraction) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << fraction * 100 << '%';
+  return os.str();
+}
+
+std::string format_sci(double v, int precision) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string format_fixed(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+} // namespace esrp::xp

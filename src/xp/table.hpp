@@ -1,0 +1,36 @@
+// Fixed-width console table formatting for the bench harnesses, which print
+// rows in the layout of the paper's Tables 2-4.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace esrp::xp {
+
+class TablePrinter {
+public:
+  /// Column headers and widths; widths must cover the header text.
+  TablePrinter(std::vector<std::string> headers, std::vector<int> widths,
+               std::ostream& out = std::cout);
+
+  void print_header();
+  void print_rule();
+  void print_row(const std::vector<std::string>& cells);
+
+private:
+  std::vector<std::string> headers_;
+  std::vector<int> widths_;
+  std::ostream* out_;
+};
+
+/// "x.y%" with one decimal, e.g. 0.0123 -> "1.2%".
+std::string format_percent(double fraction);
+
+/// Scientific notation with the given precision, e.g. -4.43e-02.
+std::string format_sci(double v, int precision = 2);
+
+/// Fixed notation with the given precision.
+std::string format_fixed(double v, int precision = 2);
+
+} // namespace esrp::xp

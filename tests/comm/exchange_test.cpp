@@ -1,0 +1,180 @@
+#include "comm/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/generators.hpp"
+
+namespace esrp {
+namespace {
+
+Vector random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+class ExchangeFixture : public ::testing::Test {
+protected:
+  ExchangeFixture()
+      : a_(poisson2d(8, 8)),
+        part_(a_.rows(), 8),
+        cluster_(part_),
+        plan_(a_, part_),
+        engine_(a_, plan_, cluster_) {}
+
+  CsrMatrix a_;
+  BlockRowPartition part_;
+  SimCluster cluster_;
+  SpmvPlan plan_;
+  ExchangeEngine engine_;
+};
+
+TEST_F(ExchangeFixture, DistributedSpmvMatchesSequential) {
+  const Vector x = random_vector(a_.rows(), 1);
+  DistVector xd(part_, x), yd(part_);
+  engine_.spmv(xd, yd);
+  Vector y_ref(static_cast<std::size_t>(a_.rows()));
+  a_.spmv(x, y_ref);
+  const Vector y = yd.gather_global();
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-13);
+}
+
+TEST_F(ExchangeFixture, SpmvChargesHaloAndCompute) {
+  const Vector x = random_vector(a_.rows(), 2);
+  DistVector xd(part_, x), yd(part_);
+  engine_.spmv(xd, yd);
+  EXPECT_GT(cluster_.modeled_time(), 0);
+  EXPECT_EQ(cluster_.ledger().totals(CommCategory::spmv_halo).bytes,
+            plan_.total_entries_sent() * CostParams::bytes_per_scalar);
+  EXPECT_EQ(cluster_.ledger().totals(CommCategory::aspmv_extra).bytes, 0u);
+}
+
+TEST_F(ExchangeFixture, AspmvProductEqualsSpmvProduct) {
+  const AspmvPlan aug(plan_, 3);
+  const Vector x = random_vector(a_.rows(), 3);
+  DistVector xd(part_, x), y1(part_), y2(part_);
+  engine_.spmv(xd, y1);
+  engine_.aspmv(aug, xd, /*tag=*/0, y2);
+  EXPECT_EQ(y1.gather_global(), y2.gather_global());
+}
+
+TEST_F(ExchangeFixture, AspmvChargesExtraTraffic) {
+  const AspmvPlan aug(plan_, 3);
+  const Vector x = random_vector(a_.rows(), 4);
+  DistVector xd(part_, x), yd(part_);
+  engine_.aspmv(aug, xd, 0, yd);
+  EXPECT_EQ(cluster_.ledger().totals(CommCategory::aspmv_extra).bytes,
+            aug.total_extra_entries() * CostParams::bytes_per_scalar);
+}
+
+TEST_F(ExchangeFixture, CapturedCopyHoldsExactValues) {
+  const AspmvPlan aug(plan_, 2);
+  const Vector x = random_vector(a_.rows(), 5);
+  DistVector xd(part_, x), yd(part_);
+  const RedundantCopy copy = engine_.aspmv(aug, xd, 7, yd);
+  EXPECT_EQ(copy.tag(), 7);
+  // Every entry can be recovered from some non-owner holder with its exact
+  // value, even when the owner "fails".
+  for (index_t i = 0; i < a_.rows(); ++i) {
+    const std::vector<rank_t> failed{part_.owner(i)};
+    const auto hit = copy.find_surviving(i, failed);
+    ASSERT_TRUE(hit.has_value()) << "entry " << i;
+    EXPECT_DOUBLE_EQ(hit->second, x[static_cast<std::size_t>(i)]);
+    EXPECT_NE(hit->first, part_.owner(i));
+  }
+}
+
+TEST_F(ExchangeFixture, HeldInFiltersByWantedSet) {
+  const AspmvPlan aug(plan_, 1);
+  const Vector x = random_vector(a_.rows(), 6);
+  DistVector xd(part_, x), yd(part_);
+  const RedundantCopy copy = engine_.aspmv(aug, xd, 0, yd);
+  const IndexSet wanted = index_range(part_.begin(0), part_.end(0));
+  for (rank_t h = 1; h < part_.num_nodes(); ++h) {
+    for (const auto& [idx, val] : copy.held_in(h, wanted)) {
+      EXPECT_EQ(part_.owner(idx), 0);
+      EXPECT_DOUBLE_EQ(val, x[static_cast<std::size_t>(idx)]);
+    }
+  }
+}
+
+TEST_F(ExchangeFixture, DropHoldersForgetsFailedNodesCopies) {
+  const AspmvPlan aug(plan_, 1);
+  const Vector x = random_vector(a_.rows(), 8);
+  DistVector xd(part_, x), yd(part_);
+  RedundantCopy copy = engine_.aspmv(aug, xd, 0, yd);
+  const std::size_t before = copy.total_entries();
+  std::vector<rank_t> all_but_owner;
+  for (rank_t s = 1; s < part_.num_nodes(); ++s) all_but_owner.push_back(s);
+  copy.drop_holders(all_but_owner);
+  EXPECT_LT(copy.total_entries(), before);
+  // With every non-owner holder gone, nothing survives an owner failure.
+  const std::vector<rank_t> owner_failed{0};
+  bool any = false;
+  for (index_t i = part_.begin(0); i < part_.end(0) && !any; ++i)
+    any = copy.find_surviving(i, owner_failed).has_value();
+  EXPECT_FALSE(any);
+}
+
+TEST_F(ExchangeFixture, HaloAffinePlacementDeliversSameProductAndCopies) {
+  const AspmvPlan aug(plan_, 3, AspmvPlacement::halo_affine);
+  const Vector x = random_vector(a_.rows(), 21);
+  DistVector xd(part_, x), y1(part_), y2(part_);
+  engine_.spmv(xd, y1);
+  const RedundantCopy copy = engine_.aspmv(aug, xd, 5, y2);
+  EXPECT_EQ(y1.gather_global(), y2.gather_global());
+  // Redundancy invariant holds through the engine: every entry survives the
+  // failure of its owner plus two neighbors.
+  for (index_t i = 0; i < a_.rows(); ++i) {
+    const rank_t owner = part_.owner(i);
+    const std::vector<rank_t> failed{
+        owner, static_cast<rank_t>((owner + 1) % part_.num_nodes()),
+        static_cast<rank_t>((owner + part_.num_nodes() - 1) %
+                            part_.num_nodes())};
+    const auto hit = copy.find_surviving(i, failed);
+    ASSERT_TRUE(hit.has_value()) << "entry " << i;
+    EXPECT_DOUBLE_EQ(hit->second, x[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST_F(ExchangeFixture, NoBarrierSpmvLeavesSuperstepOpen) {
+  const Vector x = random_vector(a_.rows(), 22);
+  DistVector xd(part_, x), yd(part_);
+  engine_.spmv(xd, yd, /*complete_step=*/false);
+  const double before = cluster_.modeled_time();
+  // Nothing charged yet: the step is still open.
+  cluster_.complete_step();
+  EXPECT_GT(cluster_.modeled_time(), before);
+}
+
+TEST(Exchange, SingleNodeClusterNeedsNoMessages) {
+  const CsrMatrix a = laplace1d(10);
+  const BlockRowPartition part(10, 1);
+  SimCluster cluster(part);
+  const SpmvPlan plan(a, part);
+  ExchangeEngine engine(a, plan, cluster);
+  DistVector x(part, Vector(10, 1)), y(part);
+  engine.spmv(x, y);
+  EXPECT_EQ(cluster.ledger().total_messages(), 0u);
+  EXPECT_GT(cluster.modeled_time(), 0); // compute still charged
+}
+
+TEST(Exchange, WorksOnElasticityOperator) {
+  const CsrMatrix a = elasticity3d(3, 3, 3, 10, 2);
+  const BlockRowPartition part(a.rows(), 6);
+  SimCluster cluster(part);
+  const SpmvPlan plan(a, part);
+  ExchangeEngine engine(a, plan, cluster);
+  const Vector x = random_vector(a.rows(), 11);
+  DistVector xd(part, x), yd(part);
+  engine.spmv(xd, yd);
+  Vector y_ref(static_cast<std::size_t>(a.rows()));
+  a.spmv(x, y_ref);
+  const Vector y = yd.gather_global();
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-12);
+}
+
+} // namespace
+} // namespace esrp

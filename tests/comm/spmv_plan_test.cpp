@@ -1,0 +1,118 @@
+#include "comm/spmv_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(SpmvPlan, Laplace1dSendsBoundaryEntriesToNeighbors) {
+  const CsrMatrix a = laplace1d(8);
+  const BlockRowPartition part(8, 4); // ranges [0,2) [2,4) [4,6) [6,8)
+  const SpmvPlan plan(a, part);
+
+  // Node 0 owns {0,1}; node 1's rows 2..3 reference column 1 -> I_{0,1}={1}.
+  EXPECT_EQ(plan.send_set(0, 1), (IndexSet{1}));
+  // Node 1 sends its first entry left and its last entry right.
+  EXPECT_EQ(plan.send_set(1, 0), (IndexSet{2}));
+  EXPECT_EQ(plan.send_set(1, 2), (IndexSet{3}));
+  // Non-adjacent nodes exchange nothing for a tridiagonal matrix.
+  EXPECT_TRUE(plan.send_set(0, 2).empty());
+  EXPECT_TRUE(plan.send_set(0, 3).empty());
+}
+
+TEST(SpmvPlan, GhostsAreExactlyTheOffNodeColumns) {
+  const CsrMatrix a = laplace1d(8);
+  const BlockRowPartition part(8, 4);
+  const SpmvPlan plan(a, part);
+  EXPECT_EQ(plan.ghosts(0), (IndexSet{2}));
+  EXPECT_EQ(plan.ghosts(1), (IndexSet{1, 4}));
+  EXPECT_EQ(plan.ghosts(3), (IndexSet{5}));
+}
+
+TEST(SpmvPlan, MultiplicityCountsDistinctReceivers) {
+  const CsrMatrix a = laplace1d(8);
+  const BlockRowPartition part(8, 4);
+  const SpmvPlan plan(a, part);
+  // Interior entries of a node (e.g. index 0) are never sent: m = 0.
+  EXPECT_EQ(plan.multiplicity(0), 0);
+  // Boundary entries go to exactly one neighbor: m = 1.
+  EXPECT_EQ(plan.multiplicity(1), 1);
+  EXPECT_EQ(plan.multiplicity(2), 1);
+}
+
+TEST(SpmvPlan, TridiagonalDoesNotProvideFullRedundancy) {
+  const CsrMatrix a = laplace1d(12);
+  const BlockRowPartition part(12, 4);
+  const SpmvPlan plan(a, part);
+  // Paper §2.2: most matrices fail the full-redundancy condition.
+  EXPECT_FALSE(plan.provides_full_redundancy());
+}
+
+TEST(SpmvPlan, OnePerNodeRowsGiveFullRedundancy) {
+  // With one row per node, every off-diagonal entry crosses a node
+  // boundary, so every entry of a connected stencil is sent somewhere.
+  const CsrMatrix a = laplace1d(6);
+  const BlockRowPartition part(6, 6);
+  const SpmvPlan plan(a, part);
+  EXPECT_TRUE(plan.provides_full_redundancy());
+}
+
+TEST(SpmvPlan, LocalNnzSumsToTotal) {
+  const CsrMatrix a = poisson2d(8, 8);
+  const BlockRowPartition part(64, 5);
+  const SpmvPlan plan(a, part);
+  index_t total = 0;
+  for (rank_t s = 0; s < 5; ++s) total += plan.local_nnz(s);
+  EXPECT_EQ(total, a.nnz());
+}
+
+TEST(SpmvPlan, SendListsNeverTargetSelf) {
+  const CsrMatrix a = poisson2d(10, 10);
+  const BlockRowPartition part(100, 7);
+  const SpmvPlan plan(a, part);
+  for (rank_t s = 0; s < 7; ++s) {
+    for (const SendList& sl : plan.sends(s)) {
+      EXPECT_NE(sl.to, s);
+      EXPECT_TRUE(is_index_set(sl.indices));
+      for (index_t i : sl.indices) EXPECT_EQ(part.owner(i), s);
+    }
+  }
+}
+
+TEST(SpmvPlan, TotalEntriesMatchesSumOfSendLists) {
+  const CsrMatrix a = poisson2d(9, 9);
+  const BlockRowPartition part(81, 6);
+  const SpmvPlan plan(a, part);
+  std::uint64_t manual = 0;
+  for (rank_t s = 0; s < 6; ++s)
+    for (const SendList& sl : plan.sends(s)) manual += sl.indices.size();
+  EXPECT_EQ(plan.total_entries_sent(), manual);
+  EXPECT_GT(manual, 0u);
+}
+
+TEST(SpmvPlan, SendSetsCoverEveryGhost) {
+  const CsrMatrix a = poisson3d(4, 4, 4);
+  const BlockRowPartition part(64, 8);
+  const SpmvPlan plan(a, part);
+  for (rank_t l = 0; l < 8; ++l) {
+    for (index_t g : plan.ghosts(l)) {
+      const rank_t owner = part.owner(g);
+      EXPECT_TRUE(set_contains(plan.send_set(owner, l), g))
+          << "ghost " << g << " of node " << l << " not covered";
+    }
+  }
+}
+
+TEST(SpmvPlan, DenserMatrixSendsMoreEntries) {
+  // Paper §2.2: denser matrices move more data in the regular SpMV.
+  const CsrMatrix narrow = banded_spd(60, 2, 1.0, 1);
+  const CsrMatrix wide = banded_spd(60, 12, 1.0, 1);
+  const BlockRowPartition part(60, 6);
+  EXPECT_LT(SpmvPlan(narrow, part).total_entries_sent(),
+            SpmvPlan(wide, part).total_entries_sent());
+}
+
+} // namespace
+} // namespace esrp

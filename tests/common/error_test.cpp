@@ -1,0 +1,48 @@
+#include "common/error.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esrp {
+namespace {
+
+TEST(EsrpCheck, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(ESRP_CHECK(1 + 1 == 2));
+}
+
+TEST(EsrpCheck, FailingConditionThrowsError) {
+  EXPECT_THROW(ESRP_CHECK(false), Error);
+}
+
+TEST(EsrpCheck, MessageContainsExpressionAndLocation) {
+  try {
+    ESRP_CHECK(2 < 1);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("error_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(EsrpCheckMsg, StreamedMessageIsIncluded) {
+  try {
+    const int n = -3;
+    ESRP_CHECK_MSG(n >= 0, "dimension must be non-negative, got " << n);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("got -3"), std::string::npos);
+  }
+}
+
+TEST(EsrpCheckMsg, PassingConditionDoesNotEvaluateStreamEffectsIntoThrow) {
+  EXPECT_NO_THROW(ESRP_CHECK_MSG(true, "never shown"));
+}
+
+TEST(Error, IsARuntimeError) {
+  const Error e("boom");
+  const std::runtime_error& base = e;
+  EXPECT_STREQ(base.what(), "boom");
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,74 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esrp {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng rng(5);
+  bool seen[8] = {};
+  for (int i = 0; i < 1000; ++i) seen[rng.next_below(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Rng, UniformIndexInclusiveBounds) {
+  Rng rng(11);
+  bool seen_lo = false, seen_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const index_t v = rng.uniform_index(3, 6);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 6);
+    seen_lo |= (v == 3);
+    seen_hi |= (v == 6);
+  }
+  EXPECT_TRUE(seen_lo);
+  EXPECT_TRUE(seen_hi);
+}
+
+TEST(Rng, MeanOfUniformIsCentered) {
+  Rng rng(2024);
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += rng.next_double();
+  EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,87 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/vec.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(Median, OddCountPicksMiddle) {
+  const Vector xs{5, 1, 3};
+  EXPECT_DOUBLE_EQ(median(xs), 3);
+}
+
+TEST(Median, EvenCountAveragesMiddlePair) {
+  const Vector xs{4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Median, SingleElement) {
+  const Vector xs{42};
+  EXPECT_DOUBLE_EQ(median(xs), 42);
+}
+
+TEST(Median, InputOrderIsPreserved) {
+  Vector xs{5, 1, 3};
+  median(xs);
+  EXPECT_EQ(xs, (Vector{5, 1, 3}));
+}
+
+TEST(Median, EmptyThrows) {
+  const Vector xs;
+  EXPECT_THROW(median(xs), Error);
+}
+
+TEST(Mean, AveragesValues) {
+  const Vector xs{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stddev, SampleFormula) {
+  const Vector xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4); // n-1 denominator
+}
+
+TEST(Stddev, SingleSampleIsZero) {
+  const Vector xs{3};
+  EXPECT_DOUBLE_EQ(stddev(xs), 0);
+}
+
+TEST(MinMax, FindExtremes) {
+  const Vector xs{3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1);
+  EXPECT_DOUBLE_EQ(max_of(xs), 7);
+}
+
+TEST(Percentile, EndpointsAndMidpoint) {
+  const Vector xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 50);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 30);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  const Vector xs{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Summarize, PopulatesAllFields) {
+  const Vector xs{1, 2, 3};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(s.med, 2);
+  EXPECT_DOUBLE_EQ(s.avg, 2);
+  EXPECT_DOUBLE_EQ(s.lo, 1);
+  EXPECT_DOUBLE_EQ(s.hi, 3);
+  EXPECT_NEAR(s.sd, 1.0, 1e-12);
+}
+
+TEST(Summarize, EmptyGivesZeroCount) {
+  const Vector xs;
+  EXPECT_EQ(summarize(xs).n, 0u);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,102 @@
+#include "common/vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(VecCopy, CopiesAllEntries) {
+  const Vector x{1, 2, 3};
+  Vector y(3, 0);
+  vec_copy(x, y);
+  EXPECT_EQ(y, (Vector{1, 2, 3}));
+}
+
+TEST(VecCopy, SizeMismatchThrows) {
+  const Vector x{1, 2};
+  Vector y(3);
+  EXPECT_THROW(vec_copy(x, y), Error);
+}
+
+TEST(VecZero, ZeroesInPlace) {
+  Vector x{1, -2, 3};
+  vec_zero(x);
+  EXPECT_EQ(x, (Vector{0, 0, 0}));
+}
+
+TEST(VecScale, ScalesInPlace) {
+  Vector x{1, -2, 3};
+  vec_scale(x, -2);
+  EXPECT_EQ(x, (Vector{-2, 4, -6}));
+}
+
+TEST(VecAxpy, ComputesYPlusAlphaX) {
+  Vector y{1, 1, 1};
+  const Vector x{1, 2, 3};
+  vec_axpy(y, 2, x);
+  EXPECT_EQ(y, (Vector{3, 5, 7}));
+}
+
+TEST(VecAxpy, AlphaZeroLeavesYUnchanged) {
+  Vector y{4, 5};
+  vec_axpy(y, 0, Vector{9, 9});
+  EXPECT_EQ(y, (Vector{4, 5}));
+}
+
+TEST(VecXpby, ComputesXPlusBetaY) {
+  Vector y{1, 2};
+  const Vector x{10, 20};
+  vec_xpby(y, x, 3);
+  EXPECT_EQ(y, (Vector{13, 26}));
+}
+
+TEST(VecXpby, BetaZeroCopiesX) {
+  Vector y{7, 7};
+  vec_xpby(y, Vector{1, 2}, 0);
+  EXPECT_EQ(y, (Vector{1, 2}));
+}
+
+TEST(VecPointwiseMul, MultipliesEntrywise) {
+  Vector z(3);
+  vec_pointwise_mul(Vector{1, 2, 3}, Vector{4, 5, 6}, z);
+  EXPECT_EQ(z, (Vector{4, 10, 18}));
+}
+
+TEST(VecDot, ComputesInnerProduct) {
+  EXPECT_DOUBLE_EQ(vec_dot(Vector{1, 2, 3}, Vector{4, 5, 6}), 32);
+}
+
+TEST(VecDot, EmptyVectorsGiveZero) {
+  EXPECT_DOUBLE_EQ(vec_dot(Vector{}, Vector{}), 0);
+}
+
+TEST(VecNorm2, MatchesPythagoras) {
+  EXPECT_DOUBLE_EQ(vec_norm2(Vector{3, 4}), 5);
+}
+
+TEST(VecNormInf, PicksLargestMagnitude) {
+  EXPECT_DOUBLE_EQ(vec_norm_inf(Vector{-7, 3, 5}), 7);
+}
+
+TEST(VecDist2, MeasuresEuclideanDistance) {
+  EXPECT_DOUBLE_EQ(vec_dist2(Vector{1, 1}, Vector{4, 5}), 5);
+}
+
+TEST(VecRelDiffInf, ZeroForIdenticalVectors) {
+  EXPECT_DOUBLE_EQ(vec_rel_diff_inf(Vector{1, 2}, Vector{1, 2}), 0);
+}
+
+TEST(VecRelDiffInf, NormalizesByReferenceMagnitude) {
+  // diff = 1, ||y||_inf = 100 -> 0.01
+  EXPECT_DOUBLE_EQ(vec_rel_diff_inf(Vector{101, 0}, Vector{100, 0}), 0.01);
+}
+
+TEST(VecRelDiffInf, SmallReferenceFallsBackToAbsolute) {
+  // ||y||_inf < 1 uses the max(1, .) floor.
+  EXPECT_DOUBLE_EQ(vec_rel_diff_inf(Vector{0.5}, Vector{0.1}), 0.4);
+}
+
+} // namespace
+} // namespace esrp

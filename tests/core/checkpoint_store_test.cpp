@@ -1,0 +1,121 @@
+#include "core/checkpoint_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace esrp {
+namespace {
+
+Vector random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  return v;
+}
+
+class CheckpointFixture : public ::testing::Test {
+protected:
+  CheckpointFixture()
+      : part_(24, 6),
+        cluster_(part_),
+        x_(part_, random_vector(24, 1)),
+        r_(part_, random_vector(24, 2)),
+        z_(part_, random_vector(24, 3)),
+        p_(part_, random_vector(24, 4)) {}
+
+  BlockRowPartition part_;
+  SimCluster cluster_;
+  DistVector x_, r_, z_, p_;
+};
+
+TEST_F(CheckpointFixture, StartsWithoutCheckpoint) {
+  CheckpointStore store(part_, 1);
+  EXPECT_FALSE(store.has_checkpoint());
+}
+
+TEST_F(CheckpointFixture, StoreChargesPhiBuddyMessagesPerNode) {
+  CheckpointStore store(part_, 2);
+  store.store(10, x_, r_, z_, p_, 0.5, cluster_);
+  EXPECT_TRUE(store.has_checkpoint());
+  EXPECT_EQ(store.tag(), 10);
+  const auto& tot = cluster_.ledger().totals(CommCategory::checkpoint);
+  EXPECT_EQ(tot.messages, 6u * 2u);
+  // (4 vectors * 4 local entries + 1 scalar) * 8 bytes * 6 nodes * 2 buddies
+  EXPECT_EQ(tot.bytes, (4u * 4u + 1u) * 8u * 6u * 2u);
+}
+
+TEST_F(CheckpointFixture, RestoreRecoversExactState) {
+  CheckpointStore store(part_, 1);
+  store.store(5, x_, r_, z_, p_, 0.25, cluster_);
+  const Vector x_snapshot = x_.gather_global();
+
+  // Mutate and damage the live state.
+  DistVector x2(part_, random_vector(24, 9)), r2(part_), z2(part_), p2(part_);
+  const std::vector<rank_t> failed{2};
+  real_t beta = -1;
+  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  EXPECT_EQ(x2.gather_global(), x_snapshot);
+  EXPECT_EQ(r2.gather_global(), r_.gather_global());
+  EXPECT_DOUBLE_EQ(beta, 0.25);
+}
+
+TEST_F(CheckpointFixture, RestoreChargesOneRecoveryMessagePerFailedRank) {
+  CheckpointStore store(part_, 3);
+  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  cluster_.reset_accounting();
+  DistVector x2(part_), r2(part_), z2(part_), p2(part_);
+  real_t beta = 0;
+  const std::vector<rank_t> failed{1, 2};
+  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  EXPECT_EQ(cluster_.ledger().totals(CommCategory::recovery).messages, 2u);
+}
+
+TEST_F(CheckpointFixture, SurvivingBuddyPrefersNearestRingNeighbor) {
+  CheckpointStore store(part_, 3);
+  const std::vector<rank_t> nobody;
+  EXPECT_EQ(store.surviving_buddy(2, nobody), 3); // d(2,1) = 3
+  const std::vector<rank_t> right_failed{3};
+  EXPECT_EQ(store.surviving_buddy(2, right_failed), 1); // d(2,2) = 1
+}
+
+TEST_F(CheckpointFixture, AllBuddiesFailedIsUnrecoverable) {
+  CheckpointStore store(part_, 1); // single buddy: d(s,1) = s+1
+  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  DistVector x2(part_), r2(part_), z2(part_), p2(part_);
+  real_t beta = 0;
+  // Fail both node 2 and its only buddy 3: restore must refuse.
+  const std::vector<rank_t> failed{2, 3};
+  EXPECT_FALSE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+}
+
+TEST_F(CheckpointFixture, ContiguousBlockOfPhiFailuresIsRecoverable) {
+  // phi buddies span a ring interval of length phi+1, so a contiguous block
+  // of psi = phi failures always leaves each node a surviving buddy.
+  const int phi = 3;
+  CheckpointStore store(part_, phi);
+  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  for (rank_t start = 0; start < part_.num_nodes(); ++start) {
+    const auto failed = contiguous_ranks(start, phi, part_.num_nodes());
+    for (rank_t f : failed)
+      EXPECT_TRUE(store.surviving_buddy(f, failed).has_value())
+          << "rank " << f << " with block at " << start;
+  }
+}
+
+TEST_F(CheckpointFixture, NewerStoreOverwritesOlder) {
+  CheckpointStore store(part_, 1);
+  store.store(5, x_, r_, z_, p_, 0.5, cluster_);
+  DistVector x_new(part_, random_vector(24, 77));
+  store.store(8, x_new, r_, z_, p_, 0.75, cluster_);
+  EXPECT_EQ(store.tag(), 8);
+  DistVector x2(part_), r2(part_), z2(part_), p2(part_);
+  real_t beta = 0;
+  const std::vector<rank_t> failed{0};
+  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  EXPECT_EQ(x2.gather_global(), x_new.gather_global());
+  EXPECT_DOUBLE_EQ(beta, 0.75);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,83 @@
+#include "core/interval.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(YoungInterval, MatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(young_interval_seconds(2.0, 100.0), std::sqrt(400.0));
+  EXPECT_DOUBLE_EQ(young_interval_seconds(0.0, 100.0), 0.0);
+}
+
+TEST(YoungInterval, InvalidMtbfThrows) {
+  EXPECT_THROW(young_interval_seconds(1.0, 0.0), Error);
+  EXPECT_THROW(young_interval_seconds(-1.0, 10.0), Error);
+}
+
+TEST(DalyInterval, ReducesToYoungForCheapCheckpoints) {
+  // delta << M: the correction terms vanish.
+  const double delta = 1e-6, mtbf = 3600;
+  EXPECT_NEAR(daly_interval_seconds(delta, mtbf),
+              young_interval_seconds(delta, mtbf), 1e-4);
+}
+
+TEST(DalyInterval, CorrectionIsPositiveMinusDelta) {
+  const double delta = 10, mtbf = 1000;
+  const double young = young_interval_seconds(delta, mtbf);
+  const double daly = daly_interval_seconds(delta, mtbf);
+  // Daly = young * (1 + eps) - delta with small positive eps.
+  EXPECT_GT(daly, young - delta);
+  EXPECT_LT(daly, young * 1.2);
+}
+
+TEST(DalyInterval, ExpensiveCheckpointsCapAtMtbf) {
+  EXPECT_DOUBLE_EQ(daly_interval_seconds(300.0, 100.0), 100.0);
+}
+
+TEST(OptimalIterations, RoundsToIterationCount) {
+  IntervalModel m;
+  m.checkpoint_cost_s = 0.02;
+  m.mtbf_s = 9.0 * 3600; // paper's 9 h MTBF for 100k nodes
+  m.iteration_s = 1.4e-3;
+  const index_t t = optimal_interval_iterations(m);
+  // Young's estimate: sqrt(2 * 0.02 * 32400) = 36 s -> ~25.7k iterations.
+  EXPECT_GT(t, 20000);
+  EXPECT_LT(t, 30000);
+}
+
+TEST(OptimalIterations, AtLeastOne) {
+  IntervalModel m;
+  m.checkpoint_cost_s = 1e-12;
+  m.mtbf_s = 1e-6;
+  m.iteration_s = 10;
+  EXPECT_EQ(optimal_interval_iterations(m), 1);
+}
+
+TEST(ExpectedRuntime, NoFailuresNoCheckpointCostIsWork) {
+  // Large MTBF, free checkpoints: expected time ~ work.
+  EXPECT_NEAR(expected_runtime_seconds(100, 10, 0, 1e12, 0), 100, 1e-6);
+}
+
+TEST(ExpectedRuntime, ConvexInTau) {
+  // Around the optimum the expected runtime must be lower than at extreme
+  // intervals (too-frequent and too-rare checkpointing both lose).
+  const double work = 1000, delta = 0.5, mtbf = 500, rec = 1.0;
+  const double tau_opt = daly_interval_seconds(delta, mtbf);
+  const double at_opt = expected_runtime_seconds(work, tau_opt, delta, mtbf, rec);
+  EXPECT_LT(at_opt, expected_runtime_seconds(work, tau_opt / 20, delta, mtbf, rec));
+  EXPECT_LT(at_opt, expected_runtime_seconds(work, tau_opt * 20, delta, mtbf, rec));
+}
+
+TEST(ExpectedRuntime, MoreFailuresCostMore) {
+  const double work = 1000, delta = 0.5, tau = 30, rec = 1.0;
+  EXPECT_GT(expected_runtime_seconds(work, tau, delta, 100, rec),
+            expected_runtime_seconds(work, tau, delta, 10000, rec));
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,53 @@
+#include "netsim/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace esrp {
+namespace {
+
+TEST(CostModel, MessageTimeIsAffineInBytes) {
+  CostParams p;
+  p.alpha_s = 1e-6;
+  p.beta_s = 1e-9;
+  EXPECT_DOUBLE_EQ(message_time(p, 0), 1e-6);
+  EXPECT_DOUBLE_EQ(message_time(p, 1000), 1e-6 + 1e-6);
+}
+
+TEST(CostModel, AllreduceSingleNodeIsFree) {
+  CostParams p;
+  EXPECT_DOUBLE_EQ(allreduce_time(p, 1, 8), 0);
+}
+
+TEST(CostModel, AllreduceUsesLog2Rounds) {
+  CostParams p;
+  p.alpha_s = 1;
+  p.beta_s = 0;
+  EXPECT_DOUBLE_EQ(allreduce_time(p, 2, 8), 2);   // 1 round, x2
+  EXPECT_DOUBLE_EQ(allreduce_time(p, 8, 8), 6);   // 3 rounds
+  EXPECT_DOUBLE_EQ(allreduce_time(p, 128, 8), 14); // 7 rounds
+}
+
+TEST(CostModel, AllreduceNonPowerOfTwoRoundsUp) {
+  CostParams p;
+  p.alpha_s = 1;
+  p.beta_s = 0;
+  EXPECT_DOUBLE_EQ(allreduce_time(p, 5, 8), 6); // ceil(log2 5) = 3 rounds
+}
+
+TEST(CostModel, ComputeTimeScalesWithFlops) {
+  CostParams p;
+  p.gamma_s = 2e-10;
+  EXPECT_DOUBLE_EQ(compute_time(p, 1e9), 0.2);
+  EXPECT_DOUBLE_EQ(compute_time(p, 0), 0);
+}
+
+TEST(CostModel, DefaultsAreSane) {
+  const CostParams p;
+  // 1 MB message takes far longer than latency alone.
+  EXPECT_GT(message_time(p, 1 << 20), 10 * p.alpha_s);
+  // A double is 8 bytes.
+  EXPECT_EQ(CostParams::bytes_per_scalar, 8u);
+}
+
+} // namespace
+} // namespace esrp

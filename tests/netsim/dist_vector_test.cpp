@@ -1,0 +1,88 @@
+#include "netsim/dist_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(DistVector, ConstructsZeroedSlices) {
+  const BlockRowPartition part(10, 3);
+  const DistVector v(part);
+  for (rank_t s = 0; s < 3; ++s) {
+    for (real_t x : v.local(s)) EXPECT_DOUBLE_EQ(x, 0);
+  }
+}
+
+TEST(DistVector, ScatterGatherRoundTrip) {
+  const BlockRowPartition part(10, 3);
+  Vector g(10);
+  for (std::size_t i = 0; i < 10; ++i) g[i] = static_cast<real_t>(i * i);
+  const DistVector v(part, g);
+  EXPECT_EQ(v.gather_global(), g);
+}
+
+TEST(DistVector, LocalSlicesMatchPartitionRanges) {
+  const BlockRowPartition part(10, 3); // 4,3,3
+  Vector g(10);
+  for (std::size_t i = 0; i < 10; ++i) g[i] = static_cast<real_t>(i);
+  const DistVector v(part, g);
+  EXPECT_EQ(v.local(0).size(), 4u);
+  EXPECT_DOUBLE_EQ(v.local(1)[0], 4);
+  EXPECT_DOUBLE_EQ(v.local(2)[2], 9);
+}
+
+TEST(DistVector, ZeroRanksWipesOnlyThoseSlices) {
+  const BlockRowPartition part(9, 3);
+  Vector g(9, 1);
+  DistVector v(part, g);
+  const std::vector<rank_t> failed{1};
+  v.zero_ranks(failed);
+  EXPECT_DOUBLE_EQ(v.at(0), 1);
+  EXPECT_DOUBLE_EQ(v.at(3), 0);
+  EXPECT_DOUBLE_EQ(v.at(5), 0);
+  EXPECT_DOUBLE_EQ(v.at(6), 1);
+}
+
+TEST(DistVector, AtAndSetAddressGlobalIndices) {
+  const BlockRowPartition part(7, 2);
+  DistVector v(part);
+  v.set(5, 3.25);
+  EXPECT_DOUBLE_EQ(v.at(5), 3.25);
+  EXPECT_DOUBLE_EQ(v.local(1)[static_cast<std::size_t>(5 - part.begin(1))],
+                   3.25);
+}
+
+TEST(DistVector, CopyFromReplicatesAllSlices) {
+  const BlockRowPartition part(8, 4);
+  Vector g{1, 2, 3, 4, 5, 6, 7, 8};
+  const DistVector a(part, g);
+  DistVector b(part);
+  b.copy_from(a);
+  EXPECT_EQ(b.gather_global(), g);
+}
+
+TEST(DistVector, MutatingLocalSliceAffectsGather) {
+  const BlockRowPartition part(6, 2);
+  DistVector v(part);
+  v.local(1)[0] = 42;
+  EXPECT_DOUBLE_EQ(v.gather_global()[3], 42);
+}
+
+TEST(DistVector, SizeMismatchOnScatterThrows) {
+  const BlockRowPartition part(6, 2);
+  DistVector v(part);
+  const Vector wrong(5, 0);
+  EXPECT_THROW(v.set_from_global(wrong), Error);
+}
+
+TEST(DistVector, ZeroAllClearsEverything) {
+  const BlockRowPartition part(6, 3);
+  DistVector v(part, Vector(6, 7));
+  v.zero_all();
+  for (real_t x : v.gather_global()) EXPECT_DOUBLE_EQ(x, 0);
+}
+
+} // namespace
+} // namespace esrp

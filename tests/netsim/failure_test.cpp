@@ -1,0 +1,60 @@
+#include "netsim/failure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(ContiguousRanks, SimpleBlock) {
+  EXPECT_EQ(contiguous_ranks(2, 3, 8), (std::vector<rank_t>{2, 3, 4}));
+}
+
+TEST(ContiguousRanks, WrapsAroundModulo) {
+  EXPECT_EQ(contiguous_ranks(6, 4, 8), (std::vector<rank_t>{6, 7, 0, 1}));
+}
+
+TEST(ContiguousRanks, PaperScenarios) {
+  // Paper: blocks starting at ranks 0 and 64 on 128 nodes.
+  const auto start = contiguous_ranks(0, 8, 128);
+  EXPECT_EQ(start.front(), 0);
+  EXPECT_EQ(start.back(), 7);
+  const auto center = contiguous_ranks(64, 8, 128);
+  EXPECT_EQ(center.front(), 64);
+  EXPECT_EQ(center.back(), 71);
+}
+
+TEST(ContiguousRanks, ZeroCountIsEmpty) {
+  EXPECT_TRUE(contiguous_ranks(3, 0, 8).empty());
+}
+
+TEST(ContiguousRanks, TooManyThrows) {
+  EXPECT_THROW(contiguous_ranks(0, 9, 8), Error);
+}
+
+TEST(RankIn, MembershipCheck) {
+  const std::vector<rank_t> rs{1, 5};
+  EXPECT_TRUE(rank_in(rs, 5));
+  EXPECT_FALSE(rank_in(rs, 2));
+}
+
+TEST(SurvivingRanks, ComplementIsSortedAndComplete) {
+  const std::vector<rank_t> failed{1, 3};
+  const auto surv = surviving_ranks(failed, 5);
+  EXPECT_EQ(surv, (std::vector<rank_t>{0, 2, 4}));
+}
+
+TEST(FailureEvent, EnabledRequiresIterationAndRanks) {
+  FailureEvent e;
+  EXPECT_FALSE(e.enabled());
+  e.iteration = 5;
+  EXPECT_FALSE(e.enabled()); // no ranks yet
+  e.ranks = {0};
+  EXPECT_TRUE(e.enabled());
+  e.iteration = -1;
+  EXPECT_FALSE(e.enabled());
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,149 @@
+#include "pipelined/dist_pipelined_pcg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.hpp"
+#include "pipelined/pipelined_pcg.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+struct System {
+  CsrMatrix a;
+  Vector b;
+  BlockRowPartition part;
+  System(CsrMatrix m, rank_t nodes)
+      : a(std::move(m)), b(xp::make_rhs(a)), part(a.rows(), nodes) {}
+};
+
+DistPipelinedResult run(System& s, DistPipelinedOptions opts,
+                        CostParams cost = CostParams{}) {
+  SimCluster cluster(s.part, cost);
+  BlockJacobiPreconditioner precond(s.a, s.part, 10);
+  DistPipelinedPcg solver(s.a, precond, cluster, opts);
+  return solver.solve(s.b);
+}
+
+TEST(DistPipelined, ConvergesToCorrectSolution) {
+  System s(poisson2d(12, 12), 8);
+  DistPipelinedOptions opts;
+  const DistPipelinedResult res = run(s, opts);
+  ASSERT_TRUE(res.converged);
+  EXPECT_LT(true_relative_residual(s.a, s.b, res.x), 1e-7);
+}
+
+TEST(DistPipelined, MatchesSequentialPipelinedTrajectory) {
+  System s(poisson2d(10, 10), 5);
+  DistPipelinedOptions opts;
+  const DistPipelinedResult dist = run(s, opts);
+
+  BlockJacobiPreconditioner seq_p(s.a, s.part, 10);
+  Vector x(s.b.size(), 0);
+  const PipelinedPcgResult seq = pipelined_pcg_solve(s.a, s.b, x, &seq_p);
+  ASSERT_TRUE(dist.converged && seq.converged);
+  EXPECT_NEAR(static_cast<double>(dist.trajectory_iterations),
+              static_cast<double>(seq.iterations), 2);
+  EXPECT_LT(vec_rel_diff_inf(dist.x, x), 1e-8);
+}
+
+TEST(DistPipelined, HidesReductionLatency) {
+  // At extreme latency the classic PCG pays 3 allreduce latencies per
+  // iteration on the critical path; the pipelined solver overlaps its
+  // single reduction with compute. Compare modeled times.
+  System s(poisson2d(16, 16), 16);
+  CostParams slow;
+  slow.alpha_s = 1e-3; // 1 ms latency: reduction-bound regime
+  const DistPipelinedResult piped = run(s, DistPipelinedOptions{}, slow);
+
+  SimCluster cluster(s.part, slow);
+  BlockJacobiPreconditioner precond(s.a, s.part, 10);
+  ResilienceOptions classic_opts;
+  ResilientPcg classic(s.a, precond, cluster, classic_opts);
+  const ResilientSolveResult classic_res = classic.solve(s.b);
+
+  ASSERT_TRUE(piped.converged && classic_res.converged);
+  const double per_iter_piped =
+      piped.modeled_time / static_cast<double>(piped.executed_iterations);
+  const double per_iter_classic =
+      classic_res.modeled_time /
+      static_cast<double>(classic_res.executed_iterations);
+  EXPECT_LT(per_iter_piped, 0.7 * per_iter_classic);
+}
+
+TEST(DistPipelined, ImcrCheckpointRecoversExactly) {
+  System s(poisson2d(12, 12), 8);
+  DistPipelinedOptions plain;
+  const DistPipelinedResult ref = run(s, plain);
+  ASSERT_GT(ref.trajectory_iterations, 25);
+
+  DistPipelinedOptions opts;
+  opts.strategy = Strategy::imcr;
+  opts.interval = 10;
+  opts.phi = 2;
+  opts.failure.iteration = 17;
+  opts.failure.ranks = {2, 3};
+  const DistPipelinedResult res = run(s, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_FALSE(res.recoveries[0].restarted_from_scratch);
+  EXPECT_EQ(res.recoveries[0].restored_to, 10);
+  EXPECT_EQ(res.recoveries[0].wasted_iterations, 7);
+  // Checkpoint restore is bitwise: same trajectory end as the plain run.
+  EXPECT_EQ(res.trajectory_iterations, ref.trajectory_iterations);
+  EXPECT_EQ(res.x, ref.x);
+}
+
+TEST(DistPipelined, ImcrSurvivesContiguousBlockEqualToPhi) {
+  System s(poisson2d(12, 12), 8);
+  DistPipelinedOptions opts;
+  opts.strategy = Strategy::imcr;
+  opts.interval = 10;
+  opts.phi = 3;
+  opts.failure.iteration = 22;
+  opts.failure.ranks = contiguous_ranks(5, 3, 8); // psi = phi block
+  const DistPipelinedResult res = run(s, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_FALSE(res.recoveries[0].restarted_from_scratch);
+  EXPECT_EQ(res.recoveries[0].restored_to, 20);
+}
+
+TEST(DistPipelined, ImcrAllBuddiesDeadFallsBackToRestart) {
+  System s(poisson2d(12, 12), 8);
+  DistPipelinedOptions opts;
+  opts.strategy = Strategy::imcr;
+  opts.interval = 10;
+  opts.phi = 1; // single buddy: killing rank s and s+1 destroys both copies
+  opts.failure.iteration = 22;
+  opts.failure.ranks = {4, 5};
+  const DistPipelinedResult res = run(s, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_TRUE(res.recoveries[0].restarted_from_scratch);
+}
+
+TEST(DistPipelined, FailureWithoutCheckpointRestarts) {
+  System s(poisson2d(12, 12), 8);
+  DistPipelinedOptions opts;
+  opts.failure.iteration = 15;
+  opts.failure.ranks = {1};
+  const DistPipelinedResult res = run(s, opts);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_TRUE(res.recoveries[0].restarted_from_scratch);
+}
+
+TEST(DistPipelined, EsrpStrategyRejected) {
+  System s(poisson2d(6, 6), 4);
+  SimCluster cluster(s.part);
+  BlockJacobiPreconditioner precond(s.a, s.part, 10);
+  DistPipelinedOptions opts;
+  opts.strategy = Strategy::esrp;
+  EXPECT_THROW(DistPipelinedPcg(s.a, precond, cluster, opts), Error);
+}
+
+} // namespace
+} // namespace esrp

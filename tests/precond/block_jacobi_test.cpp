@@ -1,0 +1,123 @@
+#include "precond/block_jacobi.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(UniformBlocks, FewestBlocksUnderCap) {
+  // 25 rows, cap 10 -> 3 blocks of sizes 9,8,8.
+  const auto starts = uniform_blocks(0, 25, 10);
+  EXPECT_EQ(starts, (std::vector<index_t>{0, 9, 17, 25}));
+}
+
+TEST(UniformBlocks, ExactMultiple) {
+  const auto starts = uniform_blocks(5, 25, 10);
+  EXPECT_EQ(starts, (std::vector<index_t>{5, 15, 25}));
+}
+
+TEST(UniformBlocks, EmptyRange) {
+  EXPECT_EQ(uniform_blocks(3, 3, 10), (std::vector<index_t>{3}));
+}
+
+TEST(UniformBlocks, CapOneGivesSingletons) {
+  EXPECT_EQ(uniform_blocks(0, 3, 1), (std::vector<index_t>{0, 1, 2, 3}));
+}
+
+TEST(BlockJacobi, BlocksAlignWithNodeBoundaries) {
+  const CsrMatrix a = poisson2d(8, 8); // 64 rows
+  const BlockRowPartition part(64, 4); // 16 per node
+  BlockJacobiPreconditioner p(a, part, 10);
+  const auto& starts = p.block_starts();
+  // Node boundaries 16, 32, 48 must appear among the block boundaries.
+  for (index_t boundary : {16, 32, 48}) {
+    EXPECT_TRUE(std::find(starts.begin(), starts.end(), boundary) !=
+                starts.end());
+  }
+  // No block exceeds the cap.
+  for (std::size_t k = 0; k + 1 < starts.size(); ++k)
+    EXPECT_LE(starts[k + 1] - starts[k], 10);
+}
+
+TEST(BlockJacobi, ActionIsExactInverseOnEachBlock) {
+  const CsrMatrix a = banded_spd(24, 2, 1.0, 5);
+  BlockJacobiPreconditioner p(a, /*max_block_size=*/6);
+  const CsrMatrix* act = p.action_matrix();
+  ASSERT_NE(act, nullptr);
+  // For each block B: act_block * B = I.
+  const auto& starts = p.block_starts();
+  const DenseMatrix ad = DenseMatrix::from_csr(a);
+  const DenseMatrix pd = DenseMatrix::from_csr(*act);
+  for (std::size_t k = 0; k + 1 < starts.size(); ++k) {
+    const index_t lo = starts[k], hi = starts[k + 1];
+    const index_t len = hi - lo;
+    DenseMatrix b(len, len), inv(len, len);
+    for (index_t i = 0; i < len; ++i)
+      for (index_t j = 0; j < len; ++j) {
+        b(i, j) = ad(lo + i, lo + j);
+        inv(i, j) = pd(lo + i, lo + j);
+      }
+    const DenseMatrix prod = inv.multiply(b);
+    EXPECT_LT(prod.max_abs_diff(DenseMatrix::identity(len)), 1e-10);
+  }
+}
+
+TEST(BlockJacobi, ActionMatrixIsSymmetric) {
+  const CsrMatrix a = poisson3d(3, 3, 3);
+  BlockJacobiPreconditioner p(a, 10);
+  EXPECT_TRUE(p.action_matrix()->is_symmetric(1e-10));
+}
+
+TEST(BlockJacobi, BlockSizeOneEqualsPointJacobi) {
+  const CsrMatrix a = banded_spd(15, 3, 0.6, 8);
+  BlockJacobiPreconditioner p(a, 1);
+  const Vector d = a.diagonal();
+  Vector r(15, 1), z(15);
+  p.apply(r, z);
+  for (std::size_t i = 0; i < 15; ++i)
+    EXPECT_NEAR(z[i], 1.0 / d[i], 1e-14);
+}
+
+TEST(BlockJacobi, ApplySolvesBlockSystems) {
+  // For block-diagonal A (bandwidth smaller than block size), the block
+  // Jacobi action is the full inverse: A * (P r) = r.
+  const CsrMatrix a = banded_spd(20, 1, 1.0, 3);
+  BlockJacobiPreconditioner p(a, 20); // one block = full matrix
+  Rng rng(4);
+  Vector r(20), z(20), az(20);
+  for (auto& v : r) v = rng.uniform(-1, 1);
+  p.apply(r, z);
+  a.spmv(z, az);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_NEAR(az[i], r[i], 1e-10);
+}
+
+TEST(BlockJacobi, NodeLocalRowsNeverCrossNodeBoundary) {
+  const CsrMatrix a = diffusion3d_27pt(4, 4, 4, 10, 6);
+  const BlockRowPartition part(64, 5);
+  BlockJacobiPreconditioner p(a, part, 10);
+  const CsrMatrix* act = p.action_matrix();
+  for (rank_t s = 0; s < 5; ++s) {
+    for (index_t i = part.begin(s); i < part.end(s); ++i) {
+      for (index_t j : act->row_cols(i)) {
+        EXPECT_GE(j, part.begin(s));
+        EXPECT_LT(j, part.end(s));
+      }
+    }
+  }
+}
+
+TEST(BlockJacobi, PaperDefaultBlockSizeIsTen) {
+  const CsrMatrix a = poisson2d(10, 10);
+  const BlockRowPartition part(100, 4);
+  BlockJacobiPreconditioner p(a, part);
+  const auto& starts = p.block_starts();
+  for (std::size_t k = 0; k + 1 < starts.size(); ++k)
+    EXPECT_LE(starts[k + 1] - starts[k], 10);
+}
+
+} // namespace
+} // namespace esrp

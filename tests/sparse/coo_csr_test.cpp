@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+namespace {
+
+CsrMatrix small_example() {
+  // [ 2 -1  0 ]
+  // [-1  2 -1 ]
+  // [ 0 -1  2 ]
+  CooBuilder b(3, 3);
+  b.add(0, 0, 2);
+  b.add(0, 1, -1);
+  b.add(1, 0, -1);
+  b.add(1, 1, 2);
+  b.add(1, 2, -1);
+  b.add(2, 1, -1);
+  b.add(2, 2, 2);
+  return b.to_csr();
+}
+
+TEST(CooBuilder, BuildsExpectedCsr) {
+  const CsrMatrix a = small_example();
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 3);
+  EXPECT_EQ(a.nnz(), 7);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 2);
+  EXPECT_DOUBLE_EQ(a.at(1, 0), -1);
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 0);
+}
+
+TEST(CooBuilder, DuplicatesAreSummed) {
+  CooBuilder b(2, 2);
+  b.add(0, 0, 1);
+  b.add(0, 0, 2.5);
+  const CsrMatrix a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.5);
+}
+
+TEST(CooBuilder, CancellingDuplicatesAreDropped) {
+  CooBuilder b(2, 2);
+  b.add(1, 1, 4);
+  b.add(1, 1, -4);
+  b.add(0, 1, 1);
+  const CsrMatrix a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 1);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 0);
+}
+
+TEST(CooBuilder, AddSymAddsMirrorEntry) {
+  CooBuilder b(3, 3);
+  b.add_sym(0, 2, 5);
+  b.add_sym(1, 1, 7); // diagonal: added once
+  const CsrMatrix a = b.to_csr();
+  EXPECT_DOUBLE_EQ(a.at(0, 2), 5);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 5);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 7);
+  EXPECT_EQ(a.nnz(), 3);
+}
+
+TEST(CooBuilder, OutOfRangeTripletThrows) {
+  CooBuilder b(2, 2);
+  EXPECT_THROW(b.add(2, 0, 1), Error);
+  EXPECT_THROW(b.add(0, -1, 1), Error);
+}
+
+TEST(CooBuilder, EmptyMatrixProducesValidCsr) {
+  CooBuilder b(4, 4);
+  const CsrMatrix a = b.to_csr();
+  EXPECT_EQ(a.nnz(), 0);
+  EXPECT_EQ(a.rows(), 4);
+}
+
+TEST(Csr, RowAccessorsAreSortedAndConsistent) {
+  const CsrMatrix a = small_example();
+  const auto cols = a.row_cols(1);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(cols.begin(), cols.end()));
+  const auto vals = a.row_vals(1);
+  EXPECT_DOUBLE_EQ(vals[0], -1);
+  EXPECT_DOUBLE_EQ(vals[1], 2);
+  EXPECT_DOUBLE_EQ(vals[2], -1);
+}
+
+TEST(Csr, SpmvMatchesHandComputation) {
+  const CsrMatrix a = small_example();
+  const Vector x{1, 2, 3};
+  Vector y(3);
+  a.spmv(x, y);
+  EXPECT_EQ(y, (Vector{0, 0, 4}));
+}
+
+TEST(Csr, SpmvRowsComputesPartialProduct) {
+  const CsrMatrix a = small_example();
+  const Vector x{1, 2, 3};
+  Vector y(2);
+  a.spmv_rows(1, 3, x, y);
+  EXPECT_EQ(y, (Vector{0, 4}));
+}
+
+TEST(Csr, TransposeOfSymmetricEqualsOriginal) {
+  const CsrMatrix a = small_example();
+  const CsrMatrix at = a.transpose();
+  for (index_t i = 0; i < 3; ++i)
+    for (index_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(at.at(i, j), a.at(i, j));
+}
+
+TEST(Csr, TransposeOfRectangular) {
+  CooBuilder b(2, 3);
+  b.add(0, 2, 1);
+  b.add(1, 0, 5);
+  const CsrMatrix at = b.to_csr().transpose();
+  EXPECT_EQ(at.rows(), 3);
+  EXPECT_EQ(at.cols(), 2);
+  EXPECT_DOUBLE_EQ(at.at(2, 0), 1);
+  EXPECT_DOUBLE_EQ(at.at(0, 1), 5);
+}
+
+TEST(Csr, DiagonalExtractsStoredAndMissingEntries) {
+  CooBuilder b(3, 3);
+  b.add(0, 0, 4);
+  b.add(2, 2, 9);
+  const Vector d = b.to_csr().diagonal();
+  EXPECT_EQ(d, (Vector{4, 0, 9}));
+}
+
+TEST(Csr, IsSymmetricDetectsAsymmetry) {
+  EXPECT_TRUE(small_example().is_symmetric());
+  CooBuilder b(2, 2);
+  b.add(0, 1, 1);
+  EXPECT_FALSE(b.to_csr().is_symmetric());
+}
+
+TEST(Csr, HalfBandwidthOfTridiagonalIsOne) {
+  EXPECT_EQ(small_example().half_bandwidth(), 1);
+}
+
+TEST(Csr, NnzWithinBandCountsDiagonalBand) {
+  const CsrMatrix a = small_example();
+  EXPECT_EQ(a.nnz_within_band(0), 3);  // diagonal only
+  EXPECT_EQ(a.nnz_within_band(1), 7);  // everything
+}
+
+TEST(Csr, InvalidRowPtrThrows) {
+  // row_ptr not covering all entries
+  EXPECT_THROW(CsrMatrix(2, 2, {0, 1}, {0}, {1.0}), Error);
+}
+
+TEST(Csr, UnsortedColumnsThrow) {
+  EXPECT_THROW(CsrMatrix(1, 3, {0, 2}, {2, 0}, {1.0, 1.0}), Error);
+}
+
+TEST(Csr, IdentityFactory) {
+  const CsrMatrix eye = csr_identity(4, 2.5);
+  EXPECT_EQ(eye.nnz(), 4);
+  for (index_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(eye.at(i, i), 2.5);
+  Vector y(4);
+  eye.spmv(Vector{1, 2, 3, 4}, y);
+  EXPECT_EQ(y, (Vector{2.5, 5, 7.5, 10}));
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,148 @@
+#include "xp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sparse/generators.hpp"
+
+namespace esrp::xp {
+namespace {
+
+TEST(MakeRhs, DeterministicAndNonDegenerate) {
+  const CsrMatrix a = poisson2d(8, 8);
+  const Vector b1 = make_rhs(a);
+  const Vector b2 = make_rhs(a);
+  EXPECT_EQ(b1, b2);
+  EXPECT_GT(vec_norm2(b1), 0);
+  // Not an all-constant vector (an eigenvector of the graph-Laplacian
+  // generators, which would collapse CG to one iteration).
+  EXPECT_GT(vec_dist2(b1, Vector(b1.size(), b1[0])), 0.1);
+}
+
+TEST(WorstCaseFailureIteration, IntervalContainingHalfC) {
+  // C = 100, T = 20: C/2 = 50 lies in [40, 60); inject at 58.
+  EXPECT_EQ(worst_case_failure_iteration(100, 20), 58);
+  // C = 100, T = 50: C/2 = 50 lies in [50, 100); inject at 98.
+  EXPECT_EQ(worst_case_failure_iteration(100, 50), 98);
+}
+
+TEST(WorstCaseFailureIteration, ClampedBelowC) {
+  // C = 90, T = 100: the interval end would be beyond convergence.
+  EXPECT_EQ(worst_case_failure_iteration(90, 100), 89);
+}
+
+TEST(WorstCaseFailureIteration, IntervalOneUsesHalfC) {
+  EXPECT_EQ(worst_case_failure_iteration(100, 1), 50);
+  EXPECT_EQ(worst_case_failure_iteration(1, 1), 1);
+}
+
+TEST(RelativeOverhead, BasicRatios) {
+  EXPECT_NEAR(relative_overhead(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(relative_overhead(1.0, 1.0), 0.0);
+  EXPECT_THROW(relative_overhead(1.0, 0.0), Error);
+}
+
+TEST(RunConfig, CacheKeyDistinguishesConfigs) {
+  RunConfig a, b;
+  a.strategy = Strategy::esrp;
+  a.interval = 20;
+  b = a;
+  EXPECT_EQ(a.cache_key("m"), b.cache_key("m"));
+  b.interval = 50;
+  EXPECT_NE(a.cache_key("m"), b.cache_key("m"));
+  b = a;
+  b.with_failure = true;
+  b.psi = 3;
+  b.failure_iteration = 58;
+  EXPECT_NE(a.cache_key("m"), b.cache_key("m"));
+  EXPECT_NE(a.cache_key("m1"), a.cache_key("m2"));
+}
+
+TEST(CalibratedCost, InflatesTowardsPaperWorkload) {
+  // Small matrix -> large scale factor; costs grow proportionally.
+  const CsrMatrix small = poisson2d(16, 16); // ~1.2k nnz on 128 nodes
+  const CostParams p = calibrated_cost(small, 128);
+  const CostParams base;
+  EXPECT_GT(p.gamma_s, base.gamma_s * 100);
+  EXPECT_GT(p.beta_s, base.beta_s * 100);
+  EXPECT_DOUBLE_EQ(p.alpha_s, 2e-6); // latency stays physical
+}
+
+TEST(CalibratedCost, NeverDeflatesBelowPhysical) {
+  // A matrix already at paper scale per node: scale clamps at 1.
+  const CsrMatrix big = banded_spd(4000, 300, 1.0, 1); // ~2.3M nnz, 1 node
+  const CostParams p = calibrated_cost(big, 1);
+  EXPECT_DOUBLE_EQ(p.gamma_s, 4.5e-9);
+  EXPECT_DOUBLE_EQ(p.beta_s, 2e-10);
+}
+
+class ExperimentFixture : public ::testing::Test {
+protected:
+  ExperimentFixture() : a_(poisson2d(12, 12)), b_(make_rhs(a_)) {}
+  CsrMatrix a_;
+  Vector b_;
+};
+
+TEST_F(ExperimentFixture, ReferenceRunConvergesAndDefinesT0) {
+  const Reference ref = run_reference(a_, b_, /*num_nodes=*/8);
+  EXPECT_GT(ref.t0_modeled, 0);
+  EXPECT_GT(ref.iterations, 10);
+}
+
+TEST_F(ExperimentFixture, FailureFreeResilientRunCostsMoreThanReference) {
+  const Reference ref = run_reference(a_, b_, 8);
+  RunConfig cfg;
+  cfg.strategy = Strategy::esrp;
+  cfg.interval = 1;
+  cfg.phi = 3;
+  cfg.num_nodes = 8;
+  const RunOutcome out = run_experiment(a_, b_, cfg);
+  ASSERT_TRUE(out.converged);
+  EXPECT_EQ(out.iterations, ref.iterations);
+  EXPECT_GT(out.modeled_time, ref.t0_modeled);
+  EXPECT_DOUBLE_EQ(out.recovery_time, 0);
+  EXPECT_EQ(out.wasted, 0);
+}
+
+TEST_F(ExperimentFixture, FailureRunReportsRecoveryAndWaste) {
+  const Reference ref = run_reference(a_, b_, 8);
+  RunConfig cfg;
+  cfg.strategy = Strategy::esrp;
+  cfg.interval = 10;
+  cfg.phi = 2;
+  cfg.num_nodes = 8;
+  cfg.with_failure = true;
+  cfg.psi = 2;
+  cfg.failure_start = 4;
+  cfg.failure_iteration = worst_case_failure_iteration(ref.iterations, 10);
+  const RunOutcome out = run_experiment(a_, b_, cfg);
+  ASSERT_TRUE(out.converged);
+  EXPECT_FALSE(out.restarted);
+  EXPECT_GT(out.recovery_time, 0);
+  EXPECT_GT(out.wasted, 0);
+  EXPECT_GT(out.modeled_time, ref.t0_modeled);
+}
+
+TEST_F(ExperimentFixture, FailureRunWithoutIterationThrows) {
+  RunConfig cfg;
+  cfg.with_failure = true;
+  cfg.psi = 1;
+  cfg.num_nodes = 8;
+  EXPECT_THROW(run_experiment(a_, b_, cfg), Error);
+}
+
+TEST_F(ExperimentFixture, DeterministicAcrossRepetitions) {
+  RunConfig cfg;
+  cfg.strategy = Strategy::imcr;
+  cfg.interval = 10;
+  cfg.phi = 1;
+  cfg.num_nodes = 8;
+  const RunOutcome a = run_experiment(a_, b_, cfg);
+  const RunOutcome b = run_experiment(a_, b_, cfg);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.modeled_time, b.modeled_time);
+  EXPECT_DOUBLE_EQ(a.drift, b.drift);
+}
+
+} // namespace
+} // namespace esrp::xp

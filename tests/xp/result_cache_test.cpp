@@ -1,0 +1,94 @@
+#include "xp/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sparse/generators.hpp"
+
+namespace esrp::xp {
+namespace {
+
+std::string temp_cache_path(const char* name) {
+  return testing::TempDir() + "/" + name + ".tsv";
+}
+
+RunOutcome sample_outcome() {
+  RunOutcome o;
+  o.converged = true;
+  o.iterations = 123;
+  o.executed = 130;
+  o.wasted = 6;
+  o.modeled_time = 1.5;
+  o.recovery_time = 0.25;
+  o.wall_seconds = 0.75;
+  o.final_relres = 9.9e-9;
+  o.drift = -4.4e-2;
+  o.restarted = false;
+  return o;
+}
+
+TEST(ResultCache, MissingFileMeansEmptyCache) {
+  const std::string path = temp_cache_path("missing");
+  std::remove(path.c_str());
+  const ResultCache cache(path);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("anything").has_value());
+}
+
+TEST(ResultCache, StoreThenLookupRoundTrip) {
+  const std::string path = temp_cache_path("roundtrip");
+  std::remove(path.c_str());
+  ResultCache cache(path);
+  cache.store("key1", sample_outcome());
+  const auto hit = cache.lookup("key1");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->iterations, 123);
+  EXPECT_DOUBLE_EQ(hit->modeled_time, 1.5);
+  EXPECT_DOUBLE_EQ(hit->drift, -4.4e-2);
+  EXPECT_TRUE(hit->converged);
+}
+
+TEST(ResultCache, PersistsAcrossInstances) {
+  const std::string path = temp_cache_path("persist");
+  std::remove(path.c_str());
+  {
+    ResultCache cache(path);
+    cache.store("k", sample_outcome());
+  }
+  const ResultCache reloaded(path);
+  const auto hit = reloaded.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->executed, 130);
+  EXPECT_DOUBLE_EQ(hit->recovery_time, 0.25);
+}
+
+TEST(ResultCache, GetOrRunCachesTheFirstResult) {
+  const std::string path = temp_cache_path("getorrun");
+  std::remove(path.c_str());
+  ResultCache cache(path);
+  const CsrMatrix a = poisson2d(8, 8);
+  const Vector b = make_rhs(a);
+  RunConfig cfg;
+  cfg.num_nodes = 4;
+  const RunOutcome first = cache.get_or_run(a, b, "p8", cfg);
+  EXPECT_EQ(cache.size(), 1u);
+  const RunOutcome second = cache.get_or_run(a, b, "p8", cfg);
+  EXPECT_EQ(first.iterations, second.iterations);
+  EXPECT_DOUBLE_EQ(first.modeled_time, second.modeled_time);
+}
+
+TEST(ResultCache, CorruptLinesAreSkipped) {
+  const std::string path = temp_cache_path("corrupt");
+  {
+    std::ofstream out(path);
+    out << "badline-without-tab\n";
+    out << "key-without-values\t\n";
+  }
+  const ResultCache cache(path);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+} // namespace
+} // namespace esrp::xp

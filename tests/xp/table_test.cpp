@@ -1,0 +1,59 @@
+#include "xp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace esrp::xp {
+namespace {
+
+TEST(TablePrinter, HeaderAndRowsAreAligned) {
+  std::ostringstream os;
+  TablePrinter t({"Strategy", "T"}, {10, 4}, os);
+  t.print_header();
+  t.print_row({"ESRP", "20"});
+  t.print_rule();
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| Strategy   | T    |"), std::string::npos);
+  EXPECT_NE(out.find("| ESRP       | 20   |"), std::string::npos);
+  // All lines equally wide.
+  std::istringstream lines(out);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+}
+
+TEST(TablePrinter, CellCountMismatchThrows) {
+  std::ostringstream os;
+  TablePrinter t({"a", "b"}, {3, 3}, os);
+  EXPECT_THROW(t.print_row({"only-one"}), Error);
+}
+
+TEST(TablePrinter, HeaderWidthMismatchThrows) {
+  EXPECT_THROW(TablePrinter({"a"}, {1, 2}), Error);
+}
+
+TEST(FormatPercent, OneDecimal) {
+  EXPECT_EQ(format_percent(0.005), "0.5%");
+  EXPECT_EQ(format_percent(0.123), "12.3%");
+  EXPECT_EQ(format_percent(0), "0.0%");
+  EXPECT_EQ(format_percent(-0.012), "-1.2%");
+}
+
+TEST(FormatSci, ScientificNotation) {
+  EXPECT_EQ(format_sci(-4.43e-2), "-4.43e-02");
+  EXPECT_EQ(format_sci(1.0, 1), "1.0e+00");
+}
+
+TEST(FormatFixed, FixedNotation) {
+  EXPECT_EQ(format_fixed(14.66, 2), "14.66");
+  EXPECT_EQ(format_fixed(3.0, 0), "3");
+}
+
+} // namespace
+} // namespace esrp::xp

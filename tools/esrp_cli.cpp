@@ -1,0 +1,213 @@
+// esrp_cli — run one resilient PCG experiment from the command line.
+//
+// Examples:
+//   esrp_cli --matrix emilia --nodes 128 --strategy esrp --interval 20 \
+//            --phi 3 --fail-at auto --fail-ranks 64:3
+//   esrp_cli --matrix poisson3d:24,24,24 --strategy imcr --interval 50 \
+//            --phi 1 --fail-at 100 --fail-ranks 0:1
+//   esrp_cli --matrix mm:/path/to/matrix.mtx --strategy none
+//
+// Matrices: emilia | audikw | poisson2d:NX,NY | poisson3d:NX,NY,NZ |
+//           mm:<path to Matrix Market file>
+// `--fail-at auto` places the failure with the paper's worst-case rule
+// (two iterations before the end of the interval containing C/2, which
+// requires one extra reference solve).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/resilient_pcg.hpp"
+#include "precond/block_jacobi.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+#include "xp/experiment.hpp"
+
+namespace {
+
+using namespace esrp;
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
+  std::fprintf(stderr,
+               "usage: esrp_cli [options]\n"
+               "  --matrix M        emilia | audikw | poisson2d:NX,NY |\n"
+               "                    poisson3d:NX,NY,NZ | mm:<file.mtx>\n"
+               "  --nodes N         simulated cluster size (default 128)\n"
+               "  --strategy S      none | esrp | imcr  (default esrp)\n"
+               "  --interval T      checkpoint interval (default 20; 1=ESR)\n"
+               "  --phi P           redundant copies (default 1)\n"
+               "  --rtol X          convergence tolerance (default 1e-8)\n"
+               "  --block-size B    block Jacobi block size (default 10)\n"
+               "  --fail-at J|auto  inject a failure (default: none)\n"
+               "  --fail-ranks S:C  contiguous ranks, start:count "
+               "(default 0:phi)\n"
+               "  --formulation F   inverse | matrix (default inverse)\n"
+               "  --no-spares       recover onto survivors (ESRP only)\n"
+               "  --quiet           machine-readable one-line output\n");
+  std::exit(2);
+}
+
+std::vector<index_t> parse_dims(const std::string& spec, std::size_t count) {
+  std::vector<index_t> dims;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (tok.empty()) usage("bad dimension list");
+    dims.push_back(std::atol(tok.c_str()));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (dims.size() != count) usage("wrong number of dimensions");
+  return dims;
+}
+
+TestProblem load_matrix(const std::string& spec) {
+  if (spec == "emilia") return emilia_like_default();
+  if (spec == "audikw") return audikw_like_default();
+  if (spec.rfind("poisson2d:", 0) == 0) {
+    const auto d = parse_dims(spec.substr(10), 2);
+    return TestProblem{"poisson2d", "2D Poisson 5-pt",
+                       poisson2d(d[0], d[1])};
+  }
+  if (spec.rfind("poisson3d:", 0) == 0) {
+    const auto d = parse_dims(spec.substr(10), 3);
+    return TestProblem{"poisson3d", "3D Poisson 7-pt",
+                       poisson3d(d[0], d[1], d[2])};
+  }
+  if (spec.rfind("mm:", 0) == 0) {
+    return TestProblem{spec.substr(3), "Matrix Market",
+                       read_matrix_market_file(spec.substr(3))};
+  }
+  usage("unknown matrix spec");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::map<std::string, std::string> args;
+  bool no_spares = false, quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string key = argv[i];
+    if (key == "--no-spares") {
+      no_spares = true;
+    } else if (key == "--quiet") {
+      quiet = true;
+    } else if (key == "--help" || key == "-h") {
+      usage();
+    } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      args[key] = argv[++i];
+    } else {
+      usage(("unexpected argument: " + key).c_str());
+    }
+  }
+
+  auto get = [&](const char* key, const char* fallback) {
+    const auto it = args.find(key);
+    return it == args.end() ? std::string(fallback) : it->second;
+  };
+
+  try {
+    const TestProblem prob = load_matrix(get("--matrix", "emilia"));
+    const CsrMatrix& a = prob.matrix;
+    const Vector b = xp::make_rhs(a);
+    const auto nodes = static_cast<rank_t>(std::atoi(get("--nodes", "128").c_str()));
+    const std::string strategy = get("--strategy", "esrp");
+    const index_t interval = std::atol(get("--interval", "20").c_str());
+    const int phi = std::atoi(get("--phi", "1").c_str());
+
+    const BlockRowPartition part(a.rows(), nodes);
+    SimCluster cluster(part, xp::calibrated_cost(a, nodes));
+    const BlockJacobiPreconditioner precond(
+        a, part, std::atol(get("--block-size", "10").c_str()));
+
+    ResilienceOptions opts;
+    if (strategy == "none") opts.strategy = Strategy::none;
+    else if (strategy == "esrp") opts.strategy = Strategy::esrp;
+    else if (strategy == "imcr") opts.strategy = Strategy::imcr;
+    else usage("unknown strategy");
+    opts.interval = interval;
+    opts.phi = phi;
+    opts.rtol = std::atof(get("--rtol", "1e-8").c_str());
+    opts.spare_nodes = !no_spares;
+    const std::string form = get("--formulation", "inverse");
+    if (form == "matrix") opts.precond_formulation = PrecondFormulation::matrix;
+    else if (form != "inverse") usage("unknown formulation");
+
+    double t0 = -1;
+    const std::string fail_at = get("--fail-at", "");
+    if (!fail_at.empty()) {
+      index_t iteration;
+      if (fail_at == "auto") {
+        const xp::Reference ref = xp::run_reference(a, b, nodes, opts.rtol);
+        iteration = xp::worst_case_failure_iteration(ref.iterations, interval);
+        t0 = ref.t0_modeled;
+        if (!quiet)
+          std::printf("reference: C = %lld, t0 = %.3f s; failing at %lld\n",
+                      static_cast<long long>(ref.iterations), t0,
+                      static_cast<long long>(iteration));
+      } else {
+        iteration = std::atol(fail_at.c_str());
+      }
+      const std::string ranks = get("--fail-ranks",
+                                    ("0:" + std::to_string(phi)).c_str());
+      const std::size_t colon = ranks.find(':');
+      if (colon == std::string::npos) usage("--fail-ranks needs start:count");
+      opts.failure.iteration = iteration;
+      opts.failure.ranks = contiguous_ranks(
+          static_cast<rank_t>(std::atoi(ranks.substr(0, colon).c_str())),
+          static_cast<rank_t>(std::atoi(ranks.substr(colon + 1).c_str())),
+          nodes);
+    }
+
+    ResilientPcg solver(a, precond, cluster, opts);
+    const ResilientSolveResult res = solver.solve(b);
+    const real_t drift = residual_drift(a, b, res.x, res.r);
+
+    if (quiet) {
+      std::printf("converged=%d iterations=%lld executed=%lld "
+                  "modeled_time=%.6f recoveries=%zu drift=%.3e\n",
+                  res.converged ? 1 : 0,
+                  static_cast<long long>(res.trajectory_iterations),
+                  static_cast<long long>(res.executed_iterations),
+                  res.modeled_time, res.recoveries.size(), drift);
+      return res.converged ? 0 : 1;
+    }
+
+    std::printf("matrix:        %s (%lld rows, %lld nnz)\n",
+                prob.name.c_str(), static_cast<long long>(a.rows()),
+                static_cast<long long>(a.nnz()));
+    std::printf("strategy:      %s, T = %lld, phi = %d%s\n",
+                to_string(opts.strategy).c_str(),
+                static_cast<long long>(interval), phi,
+                no_spares ? ", no spares" : "");
+    std::printf("converged:     %s after %lld iterations (%lld executed)\n",
+                res.converged ? "yes" : "no",
+                static_cast<long long>(res.trajectory_iterations),
+                static_cast<long long>(res.executed_iterations));
+    std::printf("modeled time:  %.3f s on %d nodes\n", res.modeled_time,
+                static_cast<int>(nodes));
+    if (t0 > 0)
+      std::printf("overhead:      %.1f%% over the reference\n",
+                  100 * (res.modeled_time - t0) / t0);
+    for (const RecoveryRecord& rec : res.recoveries) {
+      std::printf("recovery:      failed at %lld, resumed from %lld "
+                  "(%lld redone)%s, %.4f s modeled\n",
+                  static_cast<long long>(rec.failed_at),
+                  static_cast<long long>(rec.restored_to),
+                  static_cast<long long>(rec.wasted_iterations),
+                  rec.restarted_from_scratch ? " [scratch restart]" : "",
+                  rec.modeled_time);
+    }
+    std::printf("residual drift: %+.3e\n", drift);
+    return res.converged ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "esrp_cli: %s\n", e.what());
+    return 1;
+  }
+}
