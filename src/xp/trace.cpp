@@ -73,8 +73,14 @@ std::string ConvergenceTrace::ascii_chart(int width, int height) const {
   std::snprintf(label, sizeof label, "log10(relres): %.1f (top) .. %.1f\n",
                 hi, lo);
   out += label;
-  for (const std::string& row : rows) out += "|" + row + "\n";
-  out += "+" + std::string(static_cast<std::size_t>(width), '-') + "> step\n";
+  for (const std::string& row : rows) {
+    out += '|';
+    out += row;
+    out += '\n';
+  }
+  out += '+';
+  out.append(static_cast<std::size_t>(width), '-');
+  out += "> step\n";
   return out;
 }
 
