@@ -107,8 +107,9 @@ TEST_P(EsrpProperty, ConvergesOnReferenceTrajectoryWithSaneBookkeeping) {
       // stage completes at (m+1)T + 1.
       EXPECT_LE(rec.wasted_iterations, 2 * c.interval);
       // psi <= phi failures must always be recoverable once a stage exists.
-      if (c.psi <= c.phi && rec.restored_to == 0)
+      if (c.psi <= c.phi && rec.restored_to == 0) {
         EXPECT_LE(rec.failed_at, c.interval + 1);
+      }
     }
     EXPECT_EQ(res.executed_iterations,
               res.trajectory_iterations + rec.wasted_iterations + 1);

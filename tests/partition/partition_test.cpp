@@ -136,7 +136,9 @@ TEST(AbsorbRanks, CoverageIsPreserved) {
   index_t total = 0;
   for (rank_t s = 0; s < 8; ++s) {
     total += q.local_size(s);
-    if (rank_in(failed, s)) EXPECT_EQ(q.local_size(s), 0);
+    if (rank_in(failed, s)) {
+      EXPECT_EQ(q.local_size(s), 0);
+    }
   }
   EXPECT_EQ(total, 57);
   // Every index still has exactly one owner and ranges stay contiguous.
