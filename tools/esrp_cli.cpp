@@ -1,10 +1,8 @@
 // esrp_cli — run one resilient PCG experiment from the command line.
 //
 // Examples:
-//   esrp_cli --matrix emilia --nodes 128 --strategy esrp --interval 20 \
-//            --phi 3 --fail-at auto --fail-ranks 64:3
-//   esrp_cli --matrix poisson3d:24,24,24 --strategy imcr --interval 50 \
-//            --phi 1 --fail-at 100 --fail-ranks 0:1
+//   esrp_cli --matrix emilia --nodes 128 --strategy esrp --interval 20 --phi 3 --fail-at auto --fail-ranks 64:3
+//   esrp_cli --matrix poisson3d:24,24,24 --strategy imcr --interval 50 --phi 1 --fail-at 100 --fail-ranks 0:1
 //   esrp_cli --matrix mm:/path/to/matrix.mtx --strategy none
 //
 // Matrices: emilia | audikw | poisson2d:NX,NY | poisson3d:NX,NY,NZ |
@@ -30,25 +28,48 @@ namespace {
 
 using namespace esrp;
 
-[[noreturn]] void usage(const char* msg = nullptr) {
+// One table drives both the help text and the allowlist of value-taking
+// options, so a new flag cannot be documented but rejected (or vice versa).
+struct OptionSpec {
+  const char* flag;     ///< bare option name, e.g. "--matrix"
+  const char* arg;      ///< argument placeholder, or nullptr for booleans
+  const char* help;     ///< may contain embedded newlines with indentation
+};
+
+constexpr OptionSpec kOptions[] = {
+    {"--matrix", "M",
+     "emilia | audikw | poisson2d:NX,NY |\n"
+     "                    poisson3d:NX,NY,NZ | mm:<file.mtx>"},
+    {"--nodes", "N", "simulated cluster size (default 128)"},
+    {"--strategy", "S", "none | esrp | imcr  (default esrp)"},
+    {"--interval", "T", "checkpoint interval (default 20; 1=ESR)"},
+    {"--phi", "P", "redundant copies (default 1)"},
+    {"--rtol", "X", "convergence tolerance (default 1e-8)"},
+    {"--block-size", "B", "block Jacobi block size (default 10)"},
+    {"--fail-at", "J|auto", "inject a failure (default: none)"},
+    {"--fail-ranks", "S:C", "contiguous ranks, start:count (default 0:phi)"},
+    {"--formulation", "F", "inverse | matrix (default inverse)"},
+    {"--no-spares", nullptr, "recover onto survivors (ESRP only)"},
+    {"--quiet", nullptr, "machine-readable one-line output"},
+};
+
+[[noreturn]] void usage(const char* msg = nullptr, int code = 2) {
   if (msg) std::fprintf(stderr, "error: %s\n\n", msg);
-  std::fprintf(stderr,
-               "usage: esrp_cli [options]\n"
-               "  --matrix M        emilia | audikw | poisson2d:NX,NY |\n"
-               "                    poisson3d:NX,NY,NZ | mm:<file.mtx>\n"
-               "  --nodes N         simulated cluster size (default 128)\n"
-               "  --strategy S      none | esrp | imcr  (default esrp)\n"
-               "  --interval T      checkpoint interval (default 20; 1=ESR)\n"
-               "  --phi P           redundant copies (default 1)\n"
-               "  --rtol X          convergence tolerance (default 1e-8)\n"
-               "  --block-size B    block Jacobi block size (default 10)\n"
-               "  --fail-at J|auto  inject a failure (default: none)\n"
-               "  --fail-ranks S:C  contiguous ranks, start:count "
-               "(default 0:phi)\n"
-               "  --formulation F   inverse | matrix (default inverse)\n"
-               "  --no-spares       recover onto survivors (ESRP only)\n"
-               "  --quiet           machine-readable one-line output\n");
-  std::exit(2);
+  std::FILE* out = code == 0 ? stdout : stderr;
+  std::fprintf(out, "usage: esrp_cli [options]\n");
+  for (const OptionSpec& o : kOptions) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%s %s", o.flag,
+                  o.arg ? o.arg : "");
+    std::fprintf(out, "  %-17s %s\n", label, o.help);
+  }
+  std::exit(code);
+}
+
+bool takes_value(const std::string& key) {
+  for (const OptionSpec& o : kOptions)
+    if (o.arg != nullptr && key == o.flag) return true;
+  return false;
 }
 
 std::vector<index_t> parse_dims(const std::string& spec, std::size_t count) {
@@ -99,9 +120,13 @@ int main(int argc, char** argv) {
     } else if (key == "--quiet") {
       quiet = true;
     } else if (key == "--help" || key == "-h") {
-      usage();
-    } else if (key.rfind("--", 0) == 0 && i + 1 < argc) {
+      usage(nullptr, 0);
+    } else if (takes_value(key) && i + 1 < argc) {
       args[key] = argv[++i];
+    } else if (takes_value(key)) {
+      usage((key + " requires a value").c_str());
+    } else if (key.rfind("--", 0) == 0) {
+      usage(("unknown option: " + key).c_str());
     } else {
       usage(("unexpected argument: " + key).c_str());
     }
@@ -141,6 +166,8 @@ int main(int argc, char** argv) {
 
     double t0 = -1;
     const std::string fail_at = get("--fail-at", "");
+    if (fail_at.empty() && args.count("--fail-ranks"))
+      usage("--fail-ranks requires --fail-at");
     if (!fail_at.empty()) {
       index_t iteration;
       if (fail_at == "auto") {
