@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Build and run the paper-reproduction benches, one log per bench.
+#
+#   tools/run_benches.sh                     # configure+build+run everything
+#   tools/run_benches.sh --list              # print available benches
+#   tools/run_benches.sh --only bench_table2_emilia bench_fig2_emilia
+#   tools/run_benches.sh --build-dir build-debug
+#
+# Results go to bench_results/<UTC timestamp>/<bench>.log, and a summary of
+# exit codes to bench_results/<UTC timestamp>/SUMMARY. Table/figure benches
+# of the same matrix share runs through the xp::ResultCache, so running them
+# together is cheaper than separately.
+set -euo pipefail
+
+repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
+build_dir="$repo_root/build"
+list_only=0
+only=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --list) list_only=1; shift ;;
+    --build-dir) build_dir="$2"; shift 2 ;;
+    --only)
+      shift
+      while [[ $# -gt 0 && "$1" != --* ]]; do only+=("$1"); shift; done
+      if [[ ${#only[@]} -eq 0 ]]; then
+        echo "--only needs at least one bench name (see --list)" >&2
+        exit 2
+      fi
+      ;;
+    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    *) echo "unknown option: $1 (try --help)" >&2; exit 2 ;;
+  esac
+done
+
+benches=()
+for src in "$repo_root"/bench/bench_*.cpp; do
+  benches+=("$(basename "${src%.cpp}")")
+done
+
+if [[ $list_only -eq 1 ]]; then
+  printf '%s\n' "${benches[@]}"
+  exit 0
+fi
+
+if [[ ${#only[@]} -gt 0 ]]; then
+  for b in "${only[@]}"; do
+    if [[ ! " ${benches[*]} " == *" $b "* ]]; then
+      echo "no such bench: $b (see --list)" >&2
+      exit 2
+    fi
+  done
+  benches=("${only[@]}")
+fi
+
+out_dir="$repo_root/bench_results/$(date -u +%Y%m%dT%H%M%SZ)"
+mkdir -p "$out_dir"
+
+# Configure, and drop benches the configure step reported as skipped
+# (bench_micro_kernels without google-benchmark) so the targeted build only
+# asks for targets that exist — and never runs a stale binary of a bench the
+# current configure no longer builds.
+cfg_log=$(cmake -B "$build_dir" -S "$repo_root" -DESRP_BUILD_BENCHES=ON 2>&1) \
+  || { printf '%s\n' "$cfg_log" >&2; exit 1; }
+targets=()
+for b in "${benches[@]}"; do
+  if [[ "$cfg_log" == *"skipping $b"* ]]; then
+    echo "SKIP $b (not configured — google-benchmark missing?)" | tee -a "$out_dir/SUMMARY"
+  else
+    targets+=("$b")
+  fi
+done
+if [[ ${#targets[@]} -eq 0 ]]; then
+  echo "nothing to build: every requested bench was skipped" >&2
+  exit 1
+fi
+cmake --build "$build_dir" -j "$(nproc)" --target "${targets[@]}"
+
+echo "writing results to $out_dir"
+
+status=0
+for b in "${targets[@]}"; do
+  echo "=== $b"
+  if (cd "$build_dir" && "./$b") >"$out_dir/$b.log" 2>&1; then
+    echo "PASS $b" >> "$out_dir/SUMMARY"
+  else
+    rc=$?
+    echo "FAIL $b (exit $rc)" | tee -a "$out_dir/SUMMARY"
+    status=1
+  fi
+done
+
+echo "---"
+cat "$out_dir/SUMMARY"
+exit $status
