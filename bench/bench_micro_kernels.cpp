@@ -1,12 +1,14 @@
 // Google-benchmark micro benches of the kernels that determine the
 // simulator's wall-clock cost: sequential SpMV, the distributed SpMV and
 // ASpMV exchanges, the block Jacobi apply, a full resilient PCG iteration,
-// checkpoint storage, and one Alg. 2 state reconstruction.
+// checkpoint storage, one Alg. 2 state reconstruction, and the thread
+// scaling of the parallel SpMV / BLAS-1 kernels (1/2/4/8 threads).
 #include <benchmark/benchmark.h>
 
 #include "comm/exchange.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/reconstruction.hpp"
+#include "parallel/parallel.hpp"
 #include "precond/block_jacobi.hpp"
 #include "sparse/generators.hpp"
 #include "xp/experiment.hpp"
@@ -17,6 +19,13 @@ using namespace esrp;
 
 const CsrMatrix& test_matrix() {
   static const CsrMatrix a = emilia_like(16, 16, 16).matrix; // 4096 rows
+  return a;
+}
+
+/// Large instance for the thread-scaling benches: 262,144 rows and ~1.8M
+/// nnz, so even 8-way row chunks stream enough memory to amortize dispatch.
+const CsrMatrix& scaling_matrix() {
+  static const CsrMatrix a = poisson3d(64, 64, 64);
   return a;
 }
 
@@ -157,5 +166,61 @@ void BM_FullResilientIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_FullResilientIteration)->UseManualTime()->Iterations(3)
     ->Unit(benchmark::kMillisecond);
+
+// --- Thread scaling (tentpole acceptance: spmv >= 2x at 4 threads on a
+// >= 1M-nnz generator matrix, on hardware with >= 4 cores). Each variant
+// pins the global thread count for its run and restores serial at the end,
+// so the argument doubles as the reported x-axis.
+
+void BM_SpmvThreadScaling(benchmark::State& state) {
+  const CsrMatrix& a = scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector x = xp::make_rhs(a);
+  Vector y(x.size());
+  for (auto _ : state) {
+    a.spmv(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(a.nnz() * (sizeof(real_t) + sizeof(index_t))));
+  set_num_threads(1);
+}
+BENCHMARK(BM_SpmvThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_DotThreadScaling(benchmark::State& state) {
+  const CsrMatrix& a = scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector x = xp::make_rhs(a);
+  Vector y(x.size(), 0.5);
+  real_t sink = 0;
+  for (auto _ : state) {
+    sink += vec_dot(x, y);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(x.size()));
+  set_num_threads(1);
+}
+BENCHMARK(BM_DotThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
+
+void BM_AxpyThreadScaling(benchmark::State& state) {
+  const CsrMatrix& a = scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector x = xp::make_rhs(a);
+  Vector y(x.size(), 0.5);
+  for (auto _ : state) {
+    vec_axpy(y, 1e-9, x);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(x.size()));
+  set_num_threads(1);
+}
+BENCHMARK(BM_AxpyThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime();
 
 } // namespace

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "netsim/failure.hpp"
+#include "parallel/parallel.hpp"
 
 namespace esrp {
 
@@ -108,12 +109,23 @@ void ExchangeEngine::halo_exchange(const DistVector& p, RedundantCopy* capture) 
 }
 
 void ExchangeEngine::local_products(DistVector& y) {
+  // Each node's product writes only its own slice of y and reads its own
+  // scratch vector, so nodes parallelize freely (the halo exchange that
+  // filled scratch_ already completed). spmv_rows is called directly: the
+  // node slice is the unit of work, no nested row chunking.
   const BlockRowPartition& part = plan_->partition();
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    a_->spmv_rows(part.begin(s), part.end(s),
-                  scratch_[static_cast<std::size_t>(s)], y.local(s));
-    cluster_->add_compute(s, 2.0 * static_cast<double>(plan_->local_nnz(s)));
-  }
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  parallel_for(index_t{0}, nodes, adaptive_grain(nodes),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto s = static_cast<rank_t>(i);
+                   a_->spmv_rows(part.begin(s), part.end(s),
+                                 scratch_[static_cast<std::size_t>(i)],
+                                 y.local(s));
+                   cluster_->add_compute(
+                       s, 2.0 * static_cast<double>(plan_->local_nnz(s)));
+                 }
+               });
 }
 
 void ExchangeEngine::spmv(const DistVector& p, DistVector& y,

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 
+#include "parallel/parallel.hpp"
+
 namespace esrp {
+
+// Elementwise kernels parallelize with elementwise_grain (adaptive with a
+// serial floor): every index writes its own output slot, so results are
+// bitwise identical at any thread count.
 
 void vec_copy(std::span<const real_t> x, std::span<real_t> y) {
   ESRP_CHECK(x.size() == y.size());
@@ -12,61 +18,108 @@ void vec_copy(std::span<const real_t> x, std::span<real_t> y) {
 void vec_zero(std::span<real_t> x) { std::fill(x.begin(), x.end(), real_t{0}); }
 
 void vec_scale(std::span<real_t> x, real_t alpha) {
-  for (real_t& v : x) v *= alpha;
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i)
+                   x[static_cast<std::size_t>(i)] *= alpha;
+               });
 }
 
 void vec_axpy(std::span<real_t> y, real_t alpha, std::span<const real_t> x) {
   ESRP_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   y[k] += alpha * x[k];
+                 }
+               });
 }
 
 void vec_xpby(std::span<real_t> y, std::span<const real_t> x, real_t beta) {
   ESRP_CHECK(x.size() == y.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) y[i] = x[i] + beta * y[i];
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   y[k] = x[k] + beta * y[k];
+                 }
+               });
 }
 
 void vec_pointwise_mul(std::span<const real_t> x, std::span<const real_t> y,
                        std::span<real_t> z) {
   ESRP_CHECK(x.size() == y.size() && y.size() == z.size());
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) z[i] = x[i] * y[i];
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   z[k] = x[k] * y[k];
+                 }
+               });
 }
+
+// Reductions use the fixed kReduceGrain so chunk boundaries never move:
+// bitwise reproducible run-to-run at any thread count (docs/parallelism.md).
 
 real_t vec_dot(std::span<const real_t> x, std::span<const real_t> y) {
   ESRP_CHECK(x.size() == y.size());
-  real_t acc = 0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
-  return acc;
+  return parallel_reduce(index_t{0}, static_cast<index_t>(x.size()),
+                         kReduceGrain, real_t{0},
+                         [&](index_t lo, index_t hi) {
+                           real_t acc = 0;
+                           for (index_t i = lo; i < hi; ++i) {
+                             const auto k = static_cast<std::size_t>(i);
+                             acc += x[k] * y[k];
+                           }
+                           return acc;
+                         });
 }
 
 real_t vec_norm2(std::span<const real_t> x) { return std::sqrt(vec_dot(x, x)); }
 
 real_t vec_norm_inf(std::span<const real_t> x) {
-  real_t m = 0;
-  for (real_t v : x) m = std::max(m, std::abs(v));
-  return m;
+  // max is associative and commutative: any chunking is exact.
+  return parallel_reduce(
+      index_t{0}, static_cast<index_t>(x.size()), kReduceGrain, real_t{0},
+      [&](index_t lo, index_t hi) {
+        real_t m = 0;
+        for (index_t i = lo; i < hi; ++i)
+          m = std::max(m, std::abs(x[static_cast<std::size_t>(i)]));
+        return m;
+      },
+      [](real_t a, real_t b) { return std::max(a, b); });
 }
 
 real_t vec_dist2(std::span<const real_t> x, std::span<const real_t> y) {
   ESRP_CHECK(x.size() == y.size());
-  real_t acc = 0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const real_t d = x[i] - y[i];
-    acc += d * d;
-  }
+  const real_t acc = parallel_reduce(
+      index_t{0}, static_cast<index_t>(x.size()), kReduceGrain, real_t{0},
+      [&](index_t lo, index_t hi) {
+        real_t a = 0;
+        for (index_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          const real_t d = x[k] - y[k];
+          a += d * d;
+        }
+        return a;
+      });
   return std::sqrt(acc);
 }
 
 real_t vec_rel_diff_inf(std::span<const real_t> x, std::span<const real_t> y) {
   ESRP_CHECK(x.size() == y.size());
-  real_t diff = 0;
-  const std::size_t n = x.size();
-  for (std::size_t i = 0; i < n; ++i)
-    diff = std::max(diff, std::abs(x[i] - y[i]));
+  const real_t diff = parallel_reduce(
+      index_t{0}, static_cast<index_t>(x.size()), kReduceGrain, real_t{0},
+      [&](index_t lo, index_t hi) {
+        real_t d = 0;
+        for (index_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          d = std::max(d, std::abs(x[k] - y[k]));
+        }
+        return d;
+      },
+      [](real_t a, real_t b) { return std::max(a, b); });
   return diff / std::max(real_t{1}, vec_norm_inf(y));
 }
 

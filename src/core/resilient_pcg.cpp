@@ -5,8 +5,28 @@
 #include "common/error.hpp"
 #include "common/timer.hpp"
 #include "core/reconstruction.hpp"
+#include "parallel/parallel.hpp"
 
 namespace esrp {
+
+namespace {
+
+/// Chunk size for elementwise loops over simulated nodes (axpy, xpby,
+/// preconditioner application). Each node's slice is a full BLAS-1/SpMV
+/// work item, so even a single node per task amortizes the dispatch cost
+/// on realistic (>= 1k rows/node) problems.
+index_t node_grain(rank_t num_nodes) {
+  return adaptive_grain(static_cast<index_t>(num_nodes));
+}
+
+/// Reductions over nodes use a FIXED grain of one rank per chunk: chunk
+/// boundaries never move with the thread count, so the distributed dots —
+/// and with them whole solver trajectories — are bitwise identical across
+/// all thread counts >= 2 (docs/parallelism.md). One task per rank is fine:
+/// a rank's slice dot dwarfs a task dispatch.
+constexpr index_t kNodeReduceGrain = 1;
+
+} // namespace
 
 std::string to_string(Strategy s) {
   switch (s) {
@@ -149,12 +169,22 @@ void ResilientPcg::repartition(std::span<const rank_t> failed) {
 }
 
 real_t ResilientPcg::dot(const DistVector& a, const DistVector& b) {
+  // Nodes are reduced in rank order over fixed chunks (parallel_reduce), so
+  // the global dot is reproducible run-to-run at any fixed thread count.
   const BlockRowPartition& part = cluster_->partition();
-  real_t total = 0;
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    total += vec_dot(a.local(s), b.local(s));
-    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-  }
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  const real_t total = parallel_reduce(
+      index_t{0}, nodes, kNodeReduceGrain, real_t{0},
+      [&](index_t lo, index_t hi) {
+        real_t acc = 0;
+        for (index_t i = lo; i < hi; ++i) {
+          const auto s = static_cast<rank_t>(i);
+          acc += vec_dot(a.local(s), b.local(s));
+          cluster_->add_compute(s,
+                                2.0 * static_cast<double>(part.local_size(s)));
+        }
+        return acc;
+      });
   cluster_->allreduce(1, CommCategory::allreduce);
   return total;
 }
@@ -164,39 +194,70 @@ std::pair<real_t, real_t> ResilientPcg::dot2(const DistVector& a,
                                              const DistVector& c,
                                              const DistVector& d) {
   const BlockRowPartition& part = cluster_->partition();
-  real_t t1 = 0, t2 = 0;
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    t1 += vec_dot(a.local(s), b.local(s));
-    t2 += vec_dot(c.local(s), d.local(s));
-    cluster_->add_compute(s, 4.0 * static_cast<double>(part.local_size(s)));
-  }
+  using Pair = std::pair<real_t, real_t>;
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  const Pair total = parallel_reduce(
+      index_t{0}, nodes, kNodeReduceGrain, Pair{0, 0},
+      [&](index_t lo, index_t hi) {
+        Pair acc{0, 0};
+        for (index_t i = lo; i < hi; ++i) {
+          const auto s = static_cast<rank_t>(i);
+          acc.first += vec_dot(a.local(s), b.local(s));
+          acc.second += vec_dot(c.local(s), d.local(s));
+          cluster_->add_compute(s,
+                                4.0 * static_cast<double>(part.local_size(s)));
+        }
+        return acc;
+      },
+      [](Pair x, Pair y) {
+        return Pair{x.first + y.first, x.second + y.second};
+      });
   cluster_->allreduce(2, CommCategory::allreduce);
-  return {t1, t2};
+  return total;
 }
 
 void ResilientPcg::axpy(DistVector& y, real_t alpha, const DistVector& x) {
   const BlockRowPartition& part = cluster_->partition();
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    vec_axpy(y.local(s), alpha, x.local(s));
-    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-  }
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  parallel_for(index_t{0}, nodes, node_grain(part.num_nodes()),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto s = static_cast<rank_t>(i);
+                   vec_axpy(y.local(s), alpha, x.local(s));
+                   cluster_->add_compute(
+                       s, 2.0 * static_cast<double>(part.local_size(s)));
+                 }
+               });
 }
 
 void ResilientPcg::xpby(DistVector& y, const DistVector& x, real_t beta) {
   const BlockRowPartition& part = cluster_->partition();
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    vec_xpby(y.local(s), x.local(s), beta);
-    cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-  }
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  parallel_for(index_t{0}, nodes, node_grain(part.num_nodes()),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto s = static_cast<rank_t>(i);
+                   vec_xpby(y.local(s), x.local(s), beta);
+                   cluster_->add_compute(
+                       s, 2.0 * static_cast<double>(part.local_size(s)));
+                 }
+               });
 }
 
 void ResilientPcg::apply_precond(const DistVector& r, DistVector& z) {
   const BlockRowPartition& part = cluster_->partition();
-  for (rank_t s = 0; s < part.num_nodes(); ++s) {
-    const CsrMatrix& ps = precond_local_[static_cast<std::size_t>(s)];
-    ps.spmv(r.local(s), z.local(s));
-    cluster_->add_compute(s, static_cast<double>(ps.spmv_flops()));
-  }
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  parallel_for(index_t{0}, nodes, node_grain(part.num_nodes()),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto s = static_cast<rank_t>(i);
+                   const CsrMatrix& ps =
+                       precond_local_[static_cast<std::size_t>(i)];
+                   ps.spmv(r.local(s), z.local(s));
+                   cluster_->add_compute(
+                       s, static_cast<double>(ps.spmv_flops()));
+                 }
+               });
 }
 
 void ResilientPcg::initialize_state(std::span<const real_t> b,
@@ -210,12 +271,19 @@ void ResilientPcg::initialize_state(std::span<const real_t> b,
     x_->set_from_global(x0);
     engine_->spmv(*x_, *r_);
     DistVector b_dist(part, b);
-    for (rank_t s = 0; s < part.num_nodes(); ++s) {
-      auto rs = r_->local(s);
-      const auto bs = b_dist.local(s);
-      for (std::size_t k = 0; k < rs.size(); ++k) rs[k] = bs[k] - rs[k];
-      cluster_->add_compute(s, static_cast<double>(part.local_size(s)));
-    }
+    const auto nodes = static_cast<index_t>(part.num_nodes());
+    parallel_for(index_t{0}, nodes, node_grain(part.num_nodes()),
+                 [&](index_t lo, index_t hi) {
+                   for (index_t i = lo; i < hi; ++i) {
+                     const auto s = static_cast<rank_t>(i);
+                     auto rs = r_->local(s);
+                     const auto bs = b_dist.local(s);
+                     for (std::size_t k = 0; k < rs.size(); ++k)
+                       rs[k] = bs[k] - rs[k];
+                     cluster_->add_compute(
+                         s, static_cast<double>(part.local_size(s)));
+                   }
+                 });
   }
   apply_precond(*r_, *z_);
   p_->copy_from(*z_);
@@ -473,14 +541,20 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
       // Index b by global offset: a no-spare recovery may have changed the
       // partition since b_dist was built.
       const BlockRowPartition& cp = cluster_->partition();
-      for (rank_t sr = 0; sr < cp.num_nodes(); ++sr) {
-        auto rs = r_->local(sr);
-        const auto axs = ap_->local(sr);
-        const auto off = static_cast<std::size_t>(cp.begin(sr));
-        for (std::size_t k = 0; k < rs.size(); ++k)
-          rs[k] = b[off + k] - axs[k];
-        cluster_->add_compute(sr, static_cast<double>(cp.local_size(sr)));
-      }
+      const auto cn = static_cast<index_t>(cp.num_nodes());
+      parallel_for(index_t{0}, cn, node_grain(cp.num_nodes()),
+                   [&](index_t lo, index_t hi) {
+                     for (index_t i = lo; i < hi; ++i) {
+                       const auto sr = static_cast<rank_t>(i);
+                       auto rs = r_->local(sr);
+                       const auto axs = ap_->local(sr);
+                       const auto off = static_cast<std::size_t>(cp.begin(sr));
+                       for (std::size_t k = 0; k < rs.size(); ++k)
+                         rs[k] = b[off + k] - axs[k];
+                       cluster_->add_compute(
+                           sr, static_cast<double>(cp.local_size(sr)));
+                     }
+                   });
       apply_precond(*r_, *z_);
       const auto [rz_new, rr_new] = dot2(*r_, *z_, *r_, *r_);
       rz = rz_new;

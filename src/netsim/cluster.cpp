@@ -10,8 +10,28 @@ SimCluster::SimCluster(const BlockRowPartition& part, CostParams cost)
     : part_(&part), cost_(cost),
       step_(static_cast<std::size_t>(part.num_nodes())) {}
 
+SimCluster::SimCluster(const SimCluster& other)
+    : part_(other.part_),
+      cost_(other.cost_),
+      ledger_(other.ledger_),
+      step_(other.step_),
+      modeled_time_(other.modeled_time_),
+      step_dirty_(other.step_dirty_.load(std::memory_order_relaxed)) {}
+
+SimCluster& SimCluster::operator=(const SimCluster& other) {
+  part_ = other.part_;
+  cost_ = other.cost_;
+  ledger_ = other.ledger_;
+  step_ = other.step_;
+  modeled_time_ = other.modeled_time_;
+  step_dirty_.store(other.step_dirty_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+  return *this;
+}
+
 void SimCluster::set_partition(const BlockRowPartition& part) {
-  ESRP_CHECK_MSG(!step_dirty_, "cannot repartition mid-superstep");
+  ESRP_CHECK_MSG(!step_dirty_.load(std::memory_order_relaxed),
+                 "cannot repartition mid-superstep");
   ESRP_CHECK_MSG(part.num_nodes() == part_->num_nodes(),
                  "repartitioning must keep the node count");
   ESRP_CHECK(part.global_size() == part_->global_size());
@@ -22,7 +42,7 @@ void SimCluster::add_compute(rank_t rank, double flops) {
   ESRP_CHECK(rank >= 0 && rank < num_nodes());
   ESRP_CHECK(flops >= 0);
   step_[static_cast<std::size_t>(rank)].flops += flops;
-  step_dirty_ = true;
+  step_dirty_.store(true, std::memory_order_relaxed);
 }
 
 void SimCluster::send(rank_t from, rank_t to, std::size_t bytes,
@@ -34,11 +54,11 @@ void SimCluster::send(rank_t from, rank_t to, std::size_t bytes,
   step_[static_cast<std::size_t>(from)].send_time += t;
   step_[static_cast<std::size_t>(to)].recv_time += t;
   ledger_.record(cat, bytes);
-  step_dirty_ = true;
+  step_dirty_.store(true, std::memory_order_relaxed);
 }
 
 void SimCluster::complete_step() {
-  if (!step_dirty_) return;
+  if (!step_dirty_.load(std::memory_order_relaxed)) return;
   double max_t = 0;
   for (auto& c : step_) {
     // A node's step time: its compute plus the larger of its send/recv
@@ -50,7 +70,7 @@ void SimCluster::complete_step() {
     c = StepCounters{};
   }
   modeled_time_ += max_t;
-  step_dirty_ = false;
+  step_dirty_.store(false, std::memory_order_relaxed);
 }
 
 void SimCluster::allreduce(std::size_t num_scalars, CommCategory cat) {
@@ -77,7 +97,7 @@ void SimCluster::allreduce_overlapped(std::size_t num_scalars,
     c = StepCounters{};
   }
   modeled_time_ += std::max(max_t, reduce_t);
-  step_dirty_ = false;
+  step_dirty_.store(false, std::memory_order_relaxed);
   ledger_.record(cat, bytes * static_cast<std::size_t>(
                           std::max<rank_t>(0, num_nodes() - 1)));
 }
@@ -89,7 +109,8 @@ void SimCluster::charge_time(double seconds) {
 }
 
 void SimCluster::reset_accounting() {
-  ESRP_CHECK_MSG(!step_dirty_, "cannot reset mid-superstep");
+  ESRP_CHECK_MSG(!step_dirty_.load(std::memory_order_relaxed),
+                 "cannot reset mid-superstep");
   modeled_time_ = 0;
   ledger_.reset();
 }

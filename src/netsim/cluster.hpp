@@ -12,6 +12,7 @@
 // of the host process is measured separately by the experiment harness.
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "common/types.hpp"
@@ -25,6 +26,12 @@ class SimCluster {
 public:
   SimCluster(const BlockRowPartition& part, CostParams cost = CostParams{});
 
+  // Copyable (tests snapshot the accounting state); hand-written because
+  // the atomic dirty flag deletes the defaults. Never copy a cluster while
+  // a parallel kernel is reporting into it.
+  SimCluster(const SimCluster& other);
+  SimCluster& operator=(const SimCluster& other);
+
   /// Rebind to a new partition with the same node count (no-spare-node
   /// recovery: ownership moves to surviving ranks, the cluster keeps its
   /// size). Requires an idle superstep.
@@ -35,6 +42,10 @@ public:
   const CostParams& cost_params() const { return cost_; }
 
   /// Record `flops` floating-point operations on `rank` in this superstep.
+  /// Concurrency: safe to call from parallel kernels as long as no two
+  /// concurrent calls share a rank (the per-node loops satisfy this — each
+  /// task owns a disjoint rank range). All other members, send() included,
+  /// must be called from one thread at a time.
   void add_compute(rank_t rank, double flops);
 
   /// Record a point-to-point message in this superstep. Self-sends are
@@ -82,7 +93,10 @@ private:
   CommLedger ledger_;
   std::vector<StepCounters> step_;
   double modeled_time_ = 0;
-  bool step_dirty_ = false;
+  // Atomic (relaxed) so concurrent add_compute calls on distinct ranks can
+  // all mark the step dirty without a data race; the flops counters
+  // themselves are distinct objects per rank.
+  std::atomic<bool> step_dirty_{false};
 };
 
 } // namespace esrp

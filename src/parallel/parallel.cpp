@@ -1,0 +1,79 @@
+#include "parallel/parallel.hpp"
+
+#include <cstdlib>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace esrp {
+
+namespace {
+
+int clamp_thread_count(long n) {
+  if (n <= 0) return hardware_threads();
+  return static_cast<int>(n);
+}
+
+int initial_thread_count() {
+  // ESRP_NUM_THREADS seeds the default so scripts (tools/run_benches.sh
+  // --threads N) can configure child processes without per-binary flags.
+  const char* env = std::getenv("ESRP_NUM_THREADS");
+  if (env == nullptr || *env == '\0') return 1;
+  const std::string v(env);
+  if (v == "auto") return hardware_threads();
+  char* end = nullptr;
+  const long n = std::strtol(env, &end, 10);
+  if (end == nullptr || *end != '\0') return 1; // malformed: fail safe-serial
+  return clamp_thread_count(n);
+}
+
+std::atomic<int> g_num_threads{initial_thread_count()};
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool; // workers = num_threads() - 1
+
+} // namespace
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int num_threads() { return g_num_threads.load(std::memory_order_relaxed); }
+
+void set_num_threads(int n) {
+  ESRP_CHECK_MSG(n >= 0, "thread count must be >= 0 (0 = hardware)");
+  const int resolved = clamp_thread_count(n);
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (resolved == g_num_threads.load(std::memory_order_relaxed) &&
+      (resolved == 1 || g_pool != nullptr))
+    return;
+  g_pool.reset(); // join the old workers before the count changes
+  if (resolved > 1) g_pool = std::make_unique<ThreadPool>(resolved - 1);
+  g_num_threads.store(resolved, std::memory_order_relaxed);
+}
+
+ThreadPool& global_pool() {
+  // The pool is created by set_num_threads; reaching here with
+  // num_threads() > 1 and no pool means the count came from the
+  // environment default, so build it on first use. Taken once per parallel
+  // region, the lock is noise next to even one task's work.
+  std::lock_guard<std::mutex> lk(g_pool_mu);
+  if (g_pool == nullptr)
+    g_pool = std::make_unique<ThreadPool>(num_threads() - 1);
+  return *g_pool;
+}
+
+index_t adaptive_grain(index_t n, index_t tasks_per_thread) {
+  ESRP_CHECK(tasks_per_thread >= 1);
+  if (n <= 0) return 1;
+  const index_t tasks = static_cast<index_t>(num_threads()) * tasks_per_thread;
+  return std::max<index_t>(1, (n + tasks - 1) / tasks);
+}
+
+index_t elementwise_grain(index_t n) {
+  constexpr index_t floor = index_t{1} << 15;
+  return std::max(floor, adaptive_grain(n));
+}
+
+} // namespace esrp

@@ -1,0 +1,122 @@
+// Loop-level parallel API used by the hot kernels: a global thread-count
+// setting, parallel_for over index ranges, and a deterministic chunked
+// parallel_reduce.
+//
+// Determinism contract (docs/parallelism.md):
+//   * parallel_for — chunks only partition the range; as long as the body
+//     writes disjoint outputs per index (all kernels here do), results are
+//     bitwise identical at every thread count.
+//   * parallel_reduce — the range is cut into fixed chunks of `grain`
+//     indices; each chunk's partial is computed by a left-to-right serial
+//     loop and the partials are combined in index order. Chunk boundaries
+//     depend only on (range, grain), never on the thread count or on task
+//     timing, so a reduction is bitwise reproducible run-to-run at any
+//     thread count >= 2 — and identical *across* those thread counts.
+//   * num_threads() == 1 executes the untouched serial loop (single chunk),
+//     bit-identical to the pre-threading behavior of this library.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace esrp {
+
+/// Current global thread count (>= 1). Initialized from the environment
+/// variable ESRP_NUM_THREADS when set (0 or "auto" = hardware), else 1.
+int num_threads();
+
+/// Set the global thread count: n >= 1, or 0 for the hardware concurrency.
+/// Resizes the shared pool to n-1 workers (the calling thread is the n-th
+/// executor of every parallel region). Must not be called while a parallel
+/// kernel is running.
+void set_num_threads(int n);
+
+/// std::thread::hardware_concurrency(), never less than 1.
+int hardware_threads();
+
+/// The process-wide pool behind parallel_for/parallel_reduce; it holds
+/// num_threads()-1 workers. Only meaningful when num_threads() > 1.
+ThreadPool& global_pool();
+
+/// Chunk size that yields about `tasks_per_thread` tasks per thread at the
+/// current thread count (>= 1). Good for parallel_for bodies whose outputs
+/// are per-index (bitwise thread-count-independent); reductions should pass
+/// a fixed grain instead so chunk boundaries never move.
+index_t adaptive_grain(index_t n, index_t tasks_per_thread = 4);
+
+/// Grain for elementwise loops whose per-index work is a few flops (BLAS-1
+/// bodies): adaptive_grain with a floor, so ranges smaller than the floor
+/// run serially — a task dispatch costs more than streaming 32k doubles.
+index_t elementwise_grain(index_t n);
+
+/// Fixed reduction grain used by the BLAS-1 kernels (see vec.cpp).
+inline constexpr index_t kReduceGrain = index_t{1} << 14;
+
+/// body(lo, hi) over [begin, end) in chunks of at most `grain` indices.
+/// Chunks run concurrently on the global pool; the call returns after every
+/// chunk completed and rethrows the first exception a chunk threw. Ranges
+/// that fit in one chunk run serially on the calling thread, so the grain
+/// doubles as the parallelism cutoff — pick it so one chunk's work dwarfs
+/// the ~1 us cost of queueing a task.
+template <class Body>
+void parallel_for(index_t begin, index_t end, index_t grain, Body&& body) {
+  const index_t n = end - begin;
+  if (n <= 0) return;
+  ESRP_CHECK(grain >= 1);
+  if (num_threads() == 1 || n <= grain) {
+    body(begin, end);
+    return;
+  }
+  TaskGroup group(global_pool());
+  for (index_t lo = begin; lo < end; lo += grain) {
+    const index_t hi = std::min(end, lo + grain);
+    group.run([&body, lo, hi] { body(lo, hi); });
+  }
+  group.wait();
+}
+
+/// Deterministic chunked reduction: partial(c) = chunk(lo_c, hi_c) for the
+/// fixed chunking of [begin, end) by `grain`, and the result is
+/// combine(...combine(combine(init, partial(0)), partial(1))..., in index
+/// order regardless of which thread finished first.
+template <class T, class ChunkFn, class Combine>
+T parallel_reduce(index_t begin, index_t end, index_t grain, T init,
+                  ChunkFn&& chunk, Combine&& combine) {
+  const index_t n = end - begin;
+  if (n <= 0) return init;
+  ESRP_CHECK(grain >= 1);
+  if (num_threads() == 1 || n <= grain)
+    return combine(std::move(init), chunk(begin, end));
+
+  const index_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(static_cast<std::size_t>(chunks));
+  {
+    TaskGroup group(global_pool());
+    for (index_t c = 0; c < chunks; ++c) {
+      const index_t lo = begin + c * grain;
+      const index_t hi = std::min(end, lo + grain);
+      T* slot = &partials[static_cast<std::size_t>(c)];
+      group.run([&chunk, slot, lo, hi] { *slot = chunk(lo, hi); });
+    }
+    group.wait(); // synchronizes every *slot write with the combine below
+  }
+  T acc = std::move(init);
+  for (T& p : partials) acc = combine(std::move(acc), std::move(p));
+  return acc;
+}
+
+/// Sum-reduction shorthand (the common case: dot products, norms).
+template <class T, class ChunkFn>
+T parallel_reduce(index_t begin, index_t end, index_t grain, T init,
+                  ChunkFn&& chunk) {
+  return parallel_reduce(begin, end, grain, std::move(init),
+                         std::forward<ChunkFn>(chunk),
+                         [](T a, T b) { return a + b; });
+}
+
+} // namespace esrp

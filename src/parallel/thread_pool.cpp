@@ -1,0 +1,137 @@
+#include "parallel/thread_pool.hpp"
+
+#include <chrono>
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+namespace {
+/// Which pool (if any) the current thread belongs to. Set once per worker
+/// before its loop starts and never from the outside, so a plain
+/// thread_local is race-free.
+thread_local const ThreadPool* tl_worker_pool = nullptr;
+} // namespace
+
+ThreadPool::ThreadPool(int workers) {
+  ESRP_CHECK(workers >= 0);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
+
+void ThreadPool::submit(std::function<void()> job) {
+  ESRP_CHECK(job != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ESRP_CHECK_MSG(!stop_, "submit on a stopped ThreadPool");
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+bool ThreadPool::run_one() {
+  std::function<void()> job;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (queue_.empty()) return false;
+    job = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  job();
+  return true;
+}
+
+void ThreadPool::worker_loop() {
+  tl_worker_pool = this;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue before honoring stop_, so jobs enqueued before the
+      // destructor ran are never dropped.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+TaskGroup::~TaskGroup() {
+  try {
+    wait();
+  } catch (...) { // NOLINT(bugprone-empty-catch)
+  }
+}
+
+void TaskGroup::run(std::function<void()> fn) {
+  ESRP_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++pending_;
+  }
+  try {
+    pool_->submit([this, fn = std::move(fn)] {
+      std::exception_ptr err;
+      try {
+        fn();
+      } catch (...) {
+        err = std::current_exception();
+      }
+      finish_one(err);
+    });
+  } catch (...) {
+    std::lock_guard<std::mutex> lk(mu_);
+    --pending_;
+    throw;
+  }
+}
+
+void TaskGroup::finish_one(std::exception_ptr err) {
+  // Notify *inside* the lock: the waiter owns this group's storage and may
+  // destroy it the moment it can observe pending_ == 0, which the lock
+  // delays until this function no longer touches any member.
+  std::lock_guard<std::mutex> lk(mu_);
+  if (err && !first_error_) first_error_ = err;
+  if (--pending_ == 0) done_cv_.notify_all();
+}
+
+void TaskGroup::wait() {
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (pending_ == 0) break;
+    }
+    if (!pool_->run_one()) {
+      // Nothing left to help with: the group's stragglers are running on
+      // other threads. Block until finish_one reports the last completion.
+      // The timeout re-checks the pool queue so a job enqueued by a
+      // straggler (nested fork) cannot strand us here.
+      std::unique_lock<std::mutex> lk(mu_);
+      done_cv_.wait_for(lk, std::chrono::milliseconds(1),
+                        [this] { return pending_ == 0; });
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    err = first_error_;
+    first_error_ = nullptr;
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+} // namespace esrp

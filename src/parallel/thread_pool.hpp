@@ -1,0 +1,92 @@
+// Persistent worker pool and structured fork-join groups: the execution
+// substrate for the threaded kernels (see parallel/parallel.hpp for the
+// loop-level API and docs/parallelism.md for the threading model).
+//
+// Design constraints, in order:
+//   1. No deadlock on nested parallelism — a task may open its own TaskGroup
+//      and wait on it. A thread that waits "helps": it executes queued jobs
+//      instead of blocking, so every fork-join DAG makes progress even when
+//      all workers are busy.
+//   2. Exceptions propagate — the first exception thrown by any task of a
+//      group is captured and rethrown from TaskGroup::wait() on the waiting
+//      thread; remaining tasks of the group still run to completion.
+//   3. Clean shutdown — the destructor drains already-queued jobs, then
+//      joins every worker. Submitting to a stopped pool throws.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace esrp {
+
+class ThreadPool {
+public:
+  /// Spawns `workers` threads (>= 0; a zero-worker pool is legal and makes
+  /// every TaskGroup::wait() execute all jobs on the waiting thread).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Enqueue one fire-and-forget job. Throws Error after shutdown began.
+  /// Prefer TaskGroup for anything that needs completion or exceptions.
+  void submit(std::function<void()> job);
+
+  /// Pop and execute one queued job on the calling thread; false when the
+  /// queue is empty. This is the "helping" primitive TaskGroup::wait() uses.
+  bool run_one();
+
+private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+/// A set of jobs on one pool that is waited on as a unit. Reusable: after
+/// wait() returns, run() may be called again. Not thread-safe to drive from
+/// several threads at once (the tasks themselves of course run concurrently).
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(&pool) {}
+  /// Waits for stragglers but swallows their exceptions (destructors must
+  /// not throw); call wait() explicitly to observe errors.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue one job of this group.
+  void run(std::function<void()> fn);
+
+  /// Block until every job of the group finished, executing queued jobs on
+  /// the calling thread while it waits. Rethrows the first exception any
+  /// job of the group threw.
+  void wait();
+
+private:
+  void finish_one(std::exception_ptr err);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+} // namespace esrp

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "parallel/parallel.hpp"
 
 namespace esrp {
 
@@ -41,7 +42,12 @@ PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
 
   // r = b - A x; u = P r; w = A u.
   a.spmv(x, r);
-  for (std::size_t i = 0; i < nn; ++i) r[i] = b[i] - r[i];
+  parallel_for(index_t{0}, n, elementwise_grain(n), [&](index_t lo, index_t hi) {
+    for (index_t i = lo; i < hi; ++i) {
+      const auto k = static_cast<std::size_t>(i);
+      r[k] = b[k] - r[k];
+    }
+  });
   apply_precond(r, u);
   a.spmv(u, w);
   result.flops += 2.0 * static_cast<double>(a.spmv_flops());

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "parallel/parallel.hpp"
 #include "sparse/coo.hpp"
 
 namespace esrp {
@@ -60,7 +61,16 @@ real_t CsrMatrix::at(index_t i, index_t j) const {
 void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
   ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
   ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
-  spmv_rows(0, rows_, x, y);
+  // Row-range partitioning: each chunk owns a disjoint slice of y and every
+  // row is computed exactly as in the serial loop, so the product is bitwise
+  // identical at any thread count. The grain floor keeps short rows from
+  // producing chunks cheaper than a task dispatch.
+  const index_t grain = std::max<index_t>(256, adaptive_grain(rows_, 8));
+  parallel_for(index_t{0}, rows_, grain, [&](index_t lo, index_t hi) {
+    spmv_rows(lo, hi, x,
+              y.subspan(static_cast<std::size_t>(lo),
+                        static_cast<std::size_t>(hi - lo)));
+  });
 }
 
 void CsrMatrix::spmv_rows(index_t row_begin, index_t row_end,

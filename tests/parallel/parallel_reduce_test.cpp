@@ -1,0 +1,200 @@
+// parallel_for / parallel_reduce semantics and the determinism contract:
+// fixed chunk boundaries, partials combined in index order, bitwise
+// reproducible results run-to-run and across thread counts >= 2.
+#include "parallel/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "thread_count_guard.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec.hpp"
+
+namespace esrp {
+namespace {
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (real_t& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(ParallelFor, ChunksExactlyPartitionTheRange) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  std::vector<int> hits(100001, 0);
+  std::atomic<int> chunks{0};
+  parallel_for(index_t{17}, index_t{100001}, index_t{1000},
+               [&](index_t lo, index_t hi) {
+                 ++chunks;
+                 for (index_t i = lo; i < hi; ++i)
+                   ++hits[static_cast<std::size_t>(i)];
+               });
+  EXPECT_GT(chunks.load(), 1);
+  for (index_t i = 0; i < 17; ++i)
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)], 0);
+  for (index_t i = 17; i < 100001; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)], 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyAndSingleChunkRangesRunInline) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  int calls = 0;
+  parallel_for(index_t{5}, index_t{5}, index_t{10},
+               [&](index_t, index_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for(index_t{0}, index_t{10}, index_t{10},
+               [&](index_t lo, index_t hi) {
+                 ++calls;
+                 EXPECT_EQ(lo, 0);
+                 EXPECT_EQ(hi, 10);
+               });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_THROW(parallel_for(index_t{0}, index_t{10000}, index_t{100},
+                            [&](index_t lo, index_t) {
+                              if (lo >= 5000) throw Error("chunk failed");
+                            }),
+               Error);
+}
+
+TEST(ParallelReduce, SumsEveryChunkExactlyOnceInIndexOrder) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  // Integer sum: order-insensitive, so this checks coverage, not rounding.
+  const index_t n = 123457;
+  const long total = parallel_reduce(
+      index_t{0}, n, index_t{1024}, long{0}, [](index_t lo, index_t hi) {
+        long acc = 0;
+        for (index_t i = lo; i < hi; ++i) acc += i;
+        return acc;
+      });
+  EXPECT_EQ(total, static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, CombineSeesPartialsInIndexOrder) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  // Identity chunk + concatenating combine: the result lists the chunk's
+  // first indices in ascending order iff combination is index-ordered,
+  // no matter which thread finished first.
+  using List = std::vector<index_t>;
+  const List order = parallel_reduce(
+      index_t{0}, index_t{10000}, index_t{512}, List{},
+      [](index_t lo, index_t) { return List{lo}; },
+      [](List a, List b) {
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t c = 0; c < order.size(); ++c)
+    EXPECT_EQ(order[c], static_cast<index_t>(c) * 512);
+}
+
+TEST(ParallelReduce, SerialFallbackIsBitIdenticalToPlainLoop) {
+  ThreadCountGuard guard;
+  set_num_threads(1);
+  const Vector x = random_vector(100000, 11);
+  const Vector y = random_vector(100000, 22);
+  real_t expected = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) expected += x[i] * y[i];
+  // At one thread vec_dot must take the untouched serial path.
+  EXPECT_EQ(vec_dot(x, y), expected);
+}
+
+TEST(ParallelReduce, DotIsReproducibleRunToRunAtEveryThreadCount) {
+  ThreadCountGuard guard;
+  const Vector x = random_vector(200000, 33);
+  const Vector y = random_vector(200000, 44);
+  for (const int threads : {1, 2, 4, 8}) {
+    set_num_threads(threads);
+    const real_t first = vec_dot(x, y);
+    for (int rep = 0; rep < 20; ++rep) {
+      const real_t again = vec_dot(x, y);
+      ASSERT_EQ(first, again) << "threads=" << threads << " rep=" << rep;
+    }
+  }
+}
+
+TEST(ParallelReduce, ChunkingIsIndependentOfThreadCountAbove1) {
+  ThreadCountGuard guard;
+  // Fixed-grain chunking: every parallel thread count computes the exact
+  // same partials, so the combined dot is bitwise equal across 2/4/8.
+  const Vector x = random_vector(150000, 55);
+  const Vector y = random_vector(150000, 66);
+  set_num_threads(2);
+  const real_t at2 = vec_dot(x, y);
+  for (const int threads : {3, 4, 8}) {
+    set_num_threads(threads);
+    ASSERT_EQ(vec_dot(x, y), at2) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelReduce, NormsAndDistancesMatchSerialToRounding) {
+  ThreadCountGuard guard;
+  const Vector x = random_vector(100000, 77);
+  const Vector y = random_vector(100000, 88);
+  set_num_threads(1);
+  const real_t n2_serial = vec_norm2(x);
+  const real_t ninf_serial = vec_norm_inf(x);
+  const real_t d2_serial = vec_dist2(x, y);
+  set_num_threads(4);
+  // Max-reductions are exact under any chunking; sum-reductions agree to
+  // relative rounding.
+  EXPECT_EQ(vec_norm_inf(x), ninf_serial);
+  EXPECT_NEAR(vec_norm2(x), n2_serial, 1e-12 * n2_serial);
+  EXPECT_NEAR(vec_dist2(x, y), d2_serial, 1e-12 * d2_serial);
+}
+
+TEST(ParallelReduce, ElementwiseKernelsAreBitwiseThreadCountInvariant) {
+  ThreadCountGuard guard;
+  const Vector x = random_vector(200000, 99);
+  Vector serial = random_vector(200000, 111);
+  Vector threaded = serial;
+
+  set_num_threads(1);
+  vec_axpy(serial, 0.37, x);
+  vec_xpby(serial, x, -1.25);
+  vec_scale(serial, 1.0 / 3.0);
+
+  set_num_threads(4);
+  vec_axpy(threaded, 0.37, x);
+  vec_xpby(threaded, x, -1.25);
+  vec_scale(threaded, 1.0 / 3.0);
+
+  EXPECT_EQ(serial, threaded); // per-index writes: bitwise equal
+}
+
+TEST(ParallelRuntime, SetNumThreadsValidatesAndResolvesAuto) {
+  ThreadCountGuard guard;
+  set_num_threads(3);
+  EXPECT_EQ(num_threads(), 3);
+  set_num_threads(0); // auto = hardware concurrency
+  EXPECT_EQ(num_threads(), hardware_threads());
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_THROW(set_num_threads(-1), Error);
+}
+
+TEST(ParallelRuntime, GrainHelpersStayPositive) {
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  EXPECT_GE(adaptive_grain(0), 1);
+  EXPECT_GE(adaptive_grain(1), 1);
+  EXPECT_GE(elementwise_grain(10), 1);
+  const index_t g = adaptive_grain(1 << 20);
+  // About tasks_per_thread tasks per thread.
+  EXPECT_NEAR(static_cast<double>((1 << 20) / g), 16.0, 1.0);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,84 @@
+// Threaded SpMV parity: row-range partitioning computes every row with the
+// serial per-row loop, so the product must be bitwise equal to the serial
+// result at every thread count, for every generator matrix shape.
+#include <gtest/gtest.h>
+
+#include "thread_count_guard.hpp"
+
+#include "common/rng.hpp"
+#include "parallel/parallel.hpp"
+#include "sparse/generators.hpp"
+
+namespace esrp {
+namespace {
+
+Vector random_vector(index_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(static_cast<std::size_t>(n));
+  for (real_t& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+/// Serial reference: the pre-threading spmv was exactly spmv_rows over the
+/// full row range, which never parallelizes.
+Vector serial_spmv(const CsrMatrix& a, const Vector& x) {
+  Vector y(static_cast<std::size_t>(a.rows()));
+  a.spmv_rows(0, a.rows(), x, y);
+  return y;
+}
+
+class ParallelSpmvParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSpmvParity, BitwiseEqualOnGeneratorMatrices) {
+  ThreadCountGuard guard;
+  const CsrMatrix matrices[] = {
+      laplace1d(9001),
+      poisson2d(73, 61),
+      poisson3d(17, 19, 13),
+      banded_spd(6000, 37, 0.35, 2026),
+      emilia_like(8, 8, 8).matrix,
+  };
+  for (const CsrMatrix& a : matrices) {
+    const Vector x = random_vector(a.cols(), 7);
+    const Vector expected = serial_spmv(a, x);
+
+    set_num_threads(GetParam());
+    Vector y(static_cast<std::size_t>(a.rows()), -1.0);
+    a.spmv(x, y);
+    ASSERT_EQ(y, expected) << a.rows() << " rows, " << GetParam()
+                           << " threads";
+  }
+}
+
+TEST_P(ParallelSpmvParity, RepeatedRunsAreIdentical) {
+  ThreadCountGuard guard;
+  const CsrMatrix a = poisson2d(120, 97);
+  const Vector x = random_vector(a.cols(), 13);
+  set_num_threads(GetParam());
+  Vector first(static_cast<std::size_t>(a.rows()));
+  a.spmv(x, first);
+  for (int rep = 0; rep < 10; ++rep) {
+    Vector again(static_cast<std::size_t>(a.rows()));
+    a.spmv(x, again);
+    ASSERT_EQ(first, again) << "rep " << rep;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelSpmvParity,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelSpmv, SubspanRowRangesStillWork) {
+  // spmv_rows keeps its independent meaning (node-local products slice y).
+  ThreadCountGuard guard;
+  set_num_threads(4);
+  const CsrMatrix a = poisson2d(40, 40);
+  const Vector x = random_vector(a.cols(), 3);
+  const Vector full = serial_spmv(a, x);
+  Vector part(800);
+  a.spmv_rows(200, 1000, x, part);
+  for (std::size_t k = 0; k < part.size(); ++k)
+    ASSERT_EQ(part[k], full[k + 200]);
+}
+
+} // namespace
+} // namespace esrp

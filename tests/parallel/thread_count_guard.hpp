@@ -1,0 +1,14 @@
+// Shared by the tests/parallel suites: restore the global thread count on
+// scope exit so a failing test cannot leak its setting into later tests of
+// the same binary.
+#pragma once
+
+#include "parallel/parallel.hpp"
+
+namespace esrp {
+
+struct ThreadCountGuard {
+  ~ThreadCountGuard() { set_num_threads(1); }
+};
+
+} // namespace esrp

@@ -1,0 +1,168 @@
+// ThreadPool / TaskGroup semantics: completion, exception propagation,
+// nested fork-join (a task waiting on its own group must help, not
+// deadlock), clean shutdown, and the zero-worker degenerate pool.
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOfAGroup) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 100; ++i)
+    group.run([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolExecutesOnTheWaitingThread) {
+  ThreadPool pool(0);
+  std::atomic<int> done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 10; ++i) group.run([&done] { ++done; });
+  group.wait(); // the only executor is the waiter itself
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPool, GroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> done{0};
+  group.run([&done] { ++done; });
+  group.wait();
+  group.run([&done] { ++done; });
+  group.run([&done] { ++done; });
+  group.wait();
+  EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ThreadPool, WaitRethrowsTheFirstTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 20; ++i) {
+    group.run([i, &completed] {
+      if (i == 7) throw Error("task 7 exploded");
+      ++completed;
+    });
+  }
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("task 7 exploded"), std::string::npos);
+  }
+  // The failing task does not cancel its siblings.
+  EXPECT_EQ(completed.load(), 19);
+}
+
+TEST(ThreadPool, SecondWaitAfterErrorIsClean) {
+  ThreadPool pool(1);
+  TaskGroup group(pool);
+  group.run([] { throw Error("boom"); });
+  EXPECT_THROW(group.wait(), Error);
+  group.run([] {});
+  EXPECT_NO_THROW(group.wait()); // the error was consumed by the first wait
+}
+
+TEST(ThreadPool, NestedGroupsDoNotDeadlock) {
+  // One worker: the outer task occupies it, so the inner group can only
+  // finish if waiting threads help execute queued jobs.
+  ThreadPool pool(1);
+  std::atomic<int> inner_done{0};
+  TaskGroup outer(pool);
+  outer.run([&pool, &inner_done] {
+    TaskGroup inner(pool);
+    for (int i = 0; i < 8; ++i) inner.run([&inner_done] { ++inner_done; });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(inner_done.load(), 8);
+}
+
+TEST(ThreadPool, DeeplyNestedForkJoinCompletes) {
+  ThreadPool pool(2);
+  std::function<int(int)> spawn = [&](int depth) -> int {
+    if (depth == 0) return 1;
+    int a = 0, b = 0;
+    TaskGroup group(pool);
+    group.run([&] { a = spawn(depth - 1); });
+    group.run([&] { b = spawn(depth - 1); });
+    group.wait();
+    return a + b;
+  };
+  EXPECT_EQ(spawn(6), 64);
+}
+
+TEST(ThreadPool, NestedExceptionPropagatesThroughBothWaits) {
+  ThreadPool pool(1);
+  TaskGroup outer(pool);
+  outer.run([&pool] {
+    TaskGroup inner(pool);
+    inner.run([] { throw Error("inner failure"); });
+    inner.wait(); // rethrows on the worker; outer captures it
+  });
+  EXPECT_THROW(outer.wait(), Error);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedSubmits) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        done.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    // Destructor runs here with most tasks still queued.
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, OnWorkerThreadDistinguishesPools) {
+  ThreadPool a(1), b(1);
+  EXPECT_FALSE(a.on_worker_thread());
+  // submit (not TaskGroup) so the job can only run on a's worker — a
+  // helping wait() would otherwise be allowed to run it on this thread.
+  std::atomic<bool> on_a{false}, a_sees_b{true}, done{false};
+  a.submit([&] {
+    on_a = a.on_worker_thread();
+    a_sees_b = b.on_worker_thread();
+    done = true;
+  });
+  while (!done.load()) std::this_thread::yield();
+  EXPECT_TRUE(on_a.load());
+  EXPECT_FALSE(a_sees_b.load());
+}
+
+TEST(ThreadPool, ManyConcurrentGroupsOnOnePool) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> drivers;
+  for (int d = 0; d < 4; ++d) {
+    drivers.emplace_back([&pool, &total] {
+      for (int rep = 0; rep < 20; ++rep) {
+        TaskGroup group(pool);
+        for (int i = 0; i < 10; ++i) group.run([&total] { ++total; });
+        group.wait();
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(total.load(), 4 * 20 * 10);
+}
+
+} // namespace
+} // namespace esrp

@@ -19,6 +19,7 @@
 
 #include "core/metrics.hpp"
 #include "core/resilient_pcg.hpp"
+#include "parallel/parallel.hpp"
 #include "precond/block_jacobi.hpp"
 #include "sparse/generators.hpp"
 #include "sparse/matrix_market.hpp"
@@ -49,6 +50,9 @@ constexpr OptionSpec kOptions[] = {
     {"--fail-at", "J|auto", "inject a failure (default: none)"},
     {"--fail-ranks", "S:C", "contiguous ranks, start:count (default 0:phi)"},
     {"--formulation", "F", "inverse | matrix (default inverse)"},
+    {"--threads", "N",
+     "kernel threads (default $ESRP_NUM_THREADS or 1;\n"
+     "                    0 = all hardware threads)"},
     {"--no-spares", nullptr, "recover onto survivors (ESRP only)"},
     {"--quiet", nullptr, "machine-readable one-line output"},
 };
@@ -137,6 +141,18 @@ int main(int argc, char** argv) {
     return it == args.end() ? std::string(fallback) : it->second;
   };
 
+  // Validated outside the try block: a bad --threads is a usage error
+  // (exit 2), not a runtime failure. atoi would fold typos to 0, which is
+  // the meaningful "all hardware threads" value here.
+  if (args.count("--threads")) {
+    const std::string& v = args.at("--threads");
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0' || n < 0)
+      usage("--threads must be a non-negative integer (0 = hardware)");
+    set_num_threads(static_cast<int>(n));
+  }
+
   try {
     const TestProblem prob = load_matrix(get("--matrix", "emilia"));
     const CsrMatrix& a = prob.matrix;
@@ -213,6 +229,8 @@ int main(int argc, char** argv) {
                 to_string(opts.strategy).c_str(),
                 static_cast<long long>(interval), phi,
                 no_spares ? ", no spares" : "");
+    if (num_threads() > 1)
+      std::printf("threads:       %d\n", num_threads());
     std::printf("converged:     %s after %lld iterations (%lld executed)\n",
                 res.converged ? "yes" : "no",
                 static_cast<long long>(res.trajectory_iterations),

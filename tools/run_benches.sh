@@ -5,11 +5,14 @@
 #   tools/run_benches.sh --list              # print available benches
 #   tools/run_benches.sh --only bench_table2_emilia bench_fig2_emilia
 #   tools/run_benches.sh --build-dir build-debug
+#   tools/run_benches.sh --threads 4         # kernel threads per bench
+#                                            # (0 = all hardware threads)
 #
 # Results go to bench_results/<UTC timestamp>/<bench>.log, and a summary of
-# exit codes to bench_results/<UTC timestamp>/SUMMARY. Table/figure benches
-# of the same matrix share runs through the xp::ResultCache, so running them
-# together is cheaper than separately.
+# exit codes to bench_results/<UTC timestamp>/SUMMARY. The script exits
+# nonzero iff any bench failed. Table/figure benches of the same matrix
+# share runs through the xp::ResultCache, so running them together is
+# cheaper than separately.
 set -euo pipefail
 
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
@@ -21,6 +24,10 @@ while [[ $# -gt 0 ]]; do
   case "$1" in
     --list) list_only=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
+    --threads)
+      # The kernels read ESRP_NUM_THREADS at startup (src/parallel), so a
+      # plain env export configures every bench binary uniformly.
+      export ESRP_NUM_THREADS="$2"; shift 2 ;;
     --only)
       shift
       while [[ $# -gt 0 && "$1" != --* ]]; do only+=("$1"); shift; done
@@ -29,7 +36,7 @@ while [[ $# -gt 0 ]]; do
         exit 2
       fi
       ;;
-    -h|--help) sed -n '2,12p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
     *) echo "unknown option: $1 (try --help)" >&2; exit 2 ;;
   esac
 done
@@ -93,4 +100,10 @@ done
 
 echo "---"
 cat "$out_dir/SUMMARY"
+# Belt and braces: derive the exit code from the SUMMARY itself in addition
+# to the loop's status flag, so any FAIL line guarantees a nonzero exit even
+# if a future refactor moves the loop into a subshell or pipe.
+if grep -q '^FAIL ' "$out_dir/SUMMARY"; then
+  exit 1
+fi
 exit $status
