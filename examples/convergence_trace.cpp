@@ -3,39 +3,51 @@
 // the upward jump where the solver rolls back to the last storage stage and
 // replays the lost iterations on the original trajectory.
 //
+// The trace rides on the facade's SolverObserver: on_iteration() receives
+// (trajectory iteration, relres) at the top of every executed body, so the
+// rollback appears as a decrease in the recorded iteration number.
+//
 //   $ ./convergence_trace [csv_path]   (optionally also writes a CSV)
 #include <cstdio>
 #include <fstream>
 
-#include "core/resilient_pcg.hpp"
-#include "precond/block_jacobi.hpp"
-#include "sparse/generators.hpp"
-#include "xp/experiment.hpp"
+#include "api/solve.hpp"
 #include "xp/trace.hpp"
+
+namespace {
+
+/// Adapter: feed every executed iteration into a ConvergenceTrace.
+class TraceObserver final : public esrp::SolverObserver {
+public:
+  void on_iteration(esrp::index_t iteration, esrp::real_t relres) override {
+    trace_.record(iteration, relres);
+  }
+  esrp::xp::ConvergenceTrace& trace() { return trace_; }
+
+private:
+  esrp::xp::ConvergenceTrace trace_;
+};
+
+} // namespace
 
 int main(int argc, char** argv) {
   using namespace esrp;
 
-  const CsrMatrix a = poisson2d(24, 24);
-  const Vector b = xp::make_rhs(a);
-  const BlockRowPartition part(a.rows(), 16);
-  SimCluster cluster(part);
-  const BlockJacobiPreconditioner precond(a, part, 10);
+  SolveSpec spec;
+  spec.matrix = "poisson2d:24,24";
+  spec.nodes = 16;
+  spec.calibrated_cost = false;
+  spec.strategy = Strategy::esrp;
+  spec.interval = 15;
+  spec.phi = 3;
+  spec.failures.push_back(FailureEvent{40, contiguous_ranks(6, 3, 16)});
 
-  ResilienceOptions opts;
-  opts.strategy = Strategy::esrp;
-  opts.interval = 15;
-  opts.phi = 3;
-  opts.failure.iteration = 40;
-  opts.failure.ranks = contiguous_ranks(6, 3, 16);
-
-  ResilientPcg solver(a, precond, cluster, opts);
-  xp::ConvergenceTrace trace;
-  solver.set_iteration_hook(trace.hook(vec_norm2(b)));
-  const ResilientSolveResult res = solver.solve(b);
+  TraceObserver observer;
+  const SolveReport res = solve(spec, &observer);
+  const xp::ConvergenceTrace& trace = observer.trace();
 
   std::printf("ESRP solve of a %lld-unknown Poisson system; 3 nodes killed "
-              "at iteration 40:\n\n", static_cast<long long>(a.rows()));
+              "at iteration 40:\n\n", static_cast<long long>(res.rows));
   std::printf("%s\n", trace.ascii_chart(72, 16).c_str());
   for (const index_t rb : trace.rollback_steps())
     std::printf("rollback at execution step %lld (recovery rolled the "
@@ -43,7 +55,7 @@ int main(int argc, char** argv) {
                 static_cast<long long>(rb),
                 static_cast<long long>(res.recoveries[0].restored_to));
   std::printf("converged after %lld trajectory iterations, %lld executed.\n",
-              static_cast<long long>(res.trajectory_iterations),
+              static_cast<long long>(res.iterations),
               static_cast<long long>(res.executed_iterations));
 
   if (argc > 1) {

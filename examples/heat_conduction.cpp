@@ -4,17 +4,17 @@
 //
 // The example compares the three resilience strategies on the same problem
 // and failure scenario, and prints a small temperature profile to show the
-// recovered solve produces the same physics as the undisturbed one.
+// recovered solve produces the same physics as the undisturbed one. All
+// solves share one SolveSpec — only the strategy field changes per run.
 //
 //   $ ./heat_conduction [grid_n]     (default 96 -> 9216 unknowns)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
-#include "core/metrics.hpp"
-#include "core/resilient_pcg.hpp"
-#include "precond/block_jacobi.hpp"
-#include "sparse/generators.hpp"
+#include "api/registry.hpp"
+#include "api/solve.hpp"
 #include "xp/experiment.hpp"
 
 namespace {
@@ -32,81 +32,79 @@ Vector heat_source(index_t n) {
 
 struct Run {
   const char* label;
-  ResilientSolveResult result;
+  SolveReport report;
 };
 
 } // namespace
 
 int main(int argc, char** argv) {
   const index_t n = argc > 1 ? std::atol(argv[1]) : 96;
-  const CsrMatrix a = poisson2d(n, n);
   const Vector b = heat_source(n);
   const rank_t nodes = 64;
-  const BlockRowPartition part(a.rows(), nodes);
-  const BlockJacobiPreconditioner precond(a, part, 10);
+
+  // Resolve the matrix once and share it across the three solves below.
+  const TestProblem prob = resolve_matrix(
+      "poisson2d:" + std::to_string(n) + "," + std::to_string(n));
+
+  SolveSpec spec;
+  spec.matrix_data = &prob.matrix;
+  spec.matrix_name = prob.name;
+  spec.rhs = b;
+  spec.nodes = nodes;
+  spec.solver = "resilient-pcg";
+  spec.precond = "block-jacobi";
 
   std::printf("steady-state heat conduction on a %lldx%lld plate "
               "(%lld unknowns, %d nodes)\n\n",
               static_cast<long long>(n), static_cast<long long>(n),
-              static_cast<long long>(a.rows()), static_cast<int>(nodes));
+              static_cast<long long>(n * n), static_cast<int>(nodes));
 
   // Reference run to place the failure in the paper's worst-case spot.
-  index_t c_ref;
-  double t0;
-  {
-    SimCluster cluster(part, xp::calibrated_cost(a, nodes));
-    ResilienceOptions opts;
-    ResilientPcg solver(a, precond, cluster, opts);
-    const ResilientSolveResult ref = solver.solve(b);
-    c_ref = ref.trajectory_iterations;
-    t0 = ref.modeled_time;
-    std::printf("reference (no resilience): %lld iterations, %.3f s modeled\n",
-                static_cast<long long>(c_ref), t0);
-  }
+  spec.strategy = Strategy::none;
+  const SolveReport ref = solve(spec);
+  std::printf("reference (no resilience): %lld iterations, %.3f s modeled\n",
+              static_cast<long long>(ref.iterations), ref.modeled_time);
+  const double t0 = ref.modeled_time;
 
   const index_t interval = 20;
   const int phi = 3;
-  const index_t fail_at = xp::worst_case_failure_iteration(c_ref, interval);
+  const index_t fail_at =
+      xp::worst_case_failure_iteration(ref.iterations, interval);
 
   std::vector<Run> runs;
   for (const Strategy strat : {Strategy::esrp, Strategy::imcr}) {
-    ResilienceOptions opts;
-    opts.strategy = strat;
-    opts.interval = interval;
-    opts.phi = phi;
-    opts.failure.iteration = fail_at;
-    opts.failure.ranks = contiguous_ranks(nodes / 2, phi, nodes);
-    SimCluster cluster(part, xp::calibrated_cost(a, nodes));
-    ResilientPcg solver(a, precond, cluster, opts);
-    runs.push_back({strat == Strategy::esrp ? "ESRP" : "IMCR",
-                    solver.solve(b)});
+    SolveSpec failing = spec;
+    failing.strategy = strat;
+    failing.interval = interval;
+    failing.phi = phi;
+    failing.failures.push_back(
+        FailureEvent{fail_at, contiguous_ranks(nodes / 2, phi, nodes)});
+    runs.push_back(
+        {strat == Strategy::esrp ? "ESRP" : "IMCR", solve(failing)});
   }
 
   std::printf("\n%-6s %10s %12s %12s %10s %12s\n", "strat", "iters",
               "modeled[s]", "overhead", "redone", "drift");
   for (const Run& run : runs) {
-    const ResilientSolveResult& r = run.result;
-    index_t redone = 0;
-    for (const auto& rec : r.recoveries) redone += rec.wasted_iterations;
+    const SolveReport& r = run.report;
     std::printf("%-6s %10lld %12.3f %11.1f%% %10lld %12.2e\n", run.label,
-                static_cast<long long>(r.trajectory_iterations),
-                r.modeled_time, 100 * (r.modeled_time - t0) / t0,
-                static_cast<long long>(redone),
-                residual_drift(a, b, r.x, r.r));
+                static_cast<long long>(r.iterations), r.modeled_time,
+                100 * (r.modeled_time - t0) / t0,
+                static_cast<long long>(r.wasted_iterations()), r.drift);
   }
 
   // Temperature profile along the plate diagonal: both recovered solves
   // must reproduce the same physics.
   std::printf("\ntemperature along the diagonal (ESRP run):\n  ");
-  const Vector& temp = runs[0].result.x;
+  const Vector& temp = runs[0].report.x;
   for (index_t k = 0; k < n; k += n / 8) {
     std::printf("%.4f ", temp[static_cast<std::size_t>(k * n + k)]);
   }
   std::printf("\n");
 
-  const real_t agreement = vec_rel_diff_inf(runs[0].result.x,
-                                            runs[1].result.x);
+  const real_t agreement =
+      vec_rel_diff_inf(runs[0].report.x, runs[1].report.x);
   std::printf("max relative difference between ESRP and IMCR solutions: "
               "%.2e\n", agreement);
-  return (runs[0].result.converged && runs[1].result.converged) ? 0 : 1;
+  return (runs[0].report.converged && runs[1].report.converged) ? 0 : 1;
 }

@@ -5,12 +5,13 @@
 // an ESRP run and reports whether the state was reconstructed or the solver
 // had to fall back to a scratch restart. The diagonal psi = phi is the
 // paper's guarantee boundary: psi <= phi must always recover, psi > phi may
-// lose all copies of some entries.
+// lose all copies of some entries. Every cell is one SolveSpec into the
+// facade.
 //
 //   $ ./multi_failure_survival
 #include <cstdio>
 
-#include "core/resilient_pcg.hpp"
+#include "api/solve.hpp"
 #include "sparse/generators.hpp"
 #include "xp/experiment.hpp"
 
@@ -20,7 +21,16 @@ int main() {
   const CsrMatrix a = diffusion3d_27pt(12, 12, 12, 100, /*seed=*/7);
   const Vector b = xp::make_rhs(a);
   const rank_t nodes = 24;
-  const xp::Reference ref = xp::run_reference(a, b, nodes);
+
+  SolveSpec base;
+  base.matrix_data = &a;
+  base.matrix_name = "diffusion3d";
+  base.rhs = b;
+  base.nodes = nodes;
+
+  SolveSpec ref_spec = base;
+  ref_spec.strategy = Strategy::none;
+  const SolveReport ref = solve(ref_spec);
   const index_t interval = 10;
   const index_t fail_at =
       xp::worst_case_failure_iteration(ref.iterations, interval);
@@ -43,22 +53,20 @@ int main() {
   for (int psi : {1, 2, 3, 4, 6, 8, 10}) {
     std::printf("%8d", psi);
     for (int phi : {1, 2, 3, 4, 6, 8}) {
-      xp::RunConfig cfg;
-      cfg.strategy = Strategy::esrp;
-      cfg.interval = interval;
-      cfg.phi = phi;
-      cfg.num_nodes = nodes;
-      cfg.with_failure = true;
-      cfg.psi = psi;
-      cfg.failure_start = 5;
-      cfg.failure_iteration = fail_at;
-      const xp::RunOutcome out = xp::run_experiment(a, b, cfg);
+      SolveSpec spec = base;
+      spec.strategy = Strategy::esrp;
+      spec.interval = interval;
+      spec.phi = phi;
+      spec.failures.push_back(
+          FailureEvent{fail_at,
+                       contiguous_ranks(/*start=*/5, psi, nodes)});
+      const SolveReport out = solve(spec);
       if (!out.converged) {
         std::printf("%6s", "!");
       } else {
-        std::printf("%6s", out.restarted ? "S" : "R");
+        std::printf("%6s", out.restarted_from_scratch() ? "S" : "R");
         // The guarantee: psi <= phi must reconstruct.
-        if (psi <= phi && out.restarted) {
+        if (psi <= phi && out.restarted_from_scratch()) {
           std::printf("\nERROR: psi=%d <= phi=%d restarted!\n", psi, phi);
           return 1;
         }

@@ -4,58 +4,55 @@
 //
 //   $ ./quickstart
 //
-// This is the smallest end-to-end use of the public API:
-//   1. build (or load) a sparse SPD matrix,
-//   2. partition it over a simulated cluster,
-//   3. construct the paper's block Jacobi preconditioner,
-//   4. configure the ESRP strategy (interval T, redundancy phi, a failure),
-//   5. solve and inspect the result.
+// This is the smallest end-to-end use of the public API — one declarative
+// SolveSpec into esrp::solve (src/api/solve.hpp):
+//   1. name a matrix from the registry ("poisson3d:20,20,20"),
+//   2. pick solver + preconditioner by key,
+//   3. configure the ESRP strategy (interval T, redundancy phi, a failure),
+//   4. solve and inspect the report.
 #include <cstdio>
 
-#include "core/metrics.hpp"
-#include "core/resilient_pcg.hpp"
-#include "precond/block_jacobi.hpp"
-#include "sparse/generators.hpp"
-#include "xp/experiment.hpp"
+#include "api/solve.hpp"
 
 int main() {
   using namespace esrp;
 
-  // 1. A 3D Poisson problem: 20^3 unknowns, 7-point stencil.
-  const CsrMatrix a = poisson3d(20, 20, 20);
-  const Vector b = xp::make_rhs(a);
-  std::printf("matrix: %lld rows, %lld nonzeros\n",
-              static_cast<long long>(a.rows()),
-              static_cast<long long>(a.nnz()));
+  SolveSpec spec;
+  // 1. A 3D Poisson problem: 20^3 unknowns, 7-point stencil, distributed
+  //    over 16 simulated nodes (physical cost model, like the original
+  //    hand-assembled version of this example).
+  spec.matrix = "poisson3d:20,20,20";
+  spec.nodes = 16;
+  spec.calibrated_cost = false;
 
-  // 2. Distribute block rows over 16 simulated nodes.
-  const BlockRowPartition part(a.rows(), /*num_nodes=*/16);
-  SimCluster cluster(part);
+  // 2. The paper's setup: resilient PCG with node-aligned block Jacobi,
+  //    blocks of size <= 10.
+  spec.solver = "resilient-pcg";
+  spec.precond = "block-jacobi";
+  spec.block_size = 10;
 
-  // 3. Block Jacobi with node-aligned blocks of size <= 10 (paper setup).
-  const BlockJacobiPreconditioner precond(a, part, /*max_block_size=*/10);
-
-  // 4. ESRP: store redundant copies every T = 10 iterations, keep phi = 3
+  // 3. ESRP: store redundant copies every T = 10 iterations, keep phi = 3
   //    copies of every entry, and make ranks {4,5,6} fail at iteration 37.
-  ResilienceOptions opts;
-  opts.strategy = Strategy::esrp;
-  opts.interval = 10;
-  opts.phi = 3;
-  opts.rtol = 1e-8;
-  opts.failure.iteration = 37;
-  opts.failure.ranks = contiguous_ranks(/*start=*/4, /*count=*/3, 16);
+  spec.strategy = Strategy::esrp;
+  spec.interval = 10;
+  spec.phi = 3;
+  spec.rtol = 1e-8;
+  spec.failures.push_back(
+      FailureEvent{37, contiguous_ranks(/*start=*/4, /*count=*/3, 16)});
 
-  // 5. Solve.
-  ResilientPcg solver(a, precond, cluster, opts);
-  const ResilientSolveResult res = solver.solve(b);
+  // 4. Solve.
+  const SolveReport res = solve(spec);
 
+  std::printf("matrix: %s, %lld rows, %lld nonzeros\n", res.matrix.c_str(),
+              static_cast<long long>(res.rows),
+              static_cast<long long>(res.nnz));
   std::printf("converged:        %s\n", res.converged ? "yes" : "no");
   std::printf("iterations:       %lld (executed %lld bodies)\n",
-              static_cast<long long>(res.trajectory_iterations),
+              static_cast<long long>(res.iterations),
               static_cast<long long>(res.executed_iterations));
   std::printf("final rel. res.:  %.2e\n", res.final_relres);
   std::printf("modeled time:     %.3f s on %d nodes\n", res.modeled_time,
-              static_cast<int>(cluster.num_nodes()));
+              static_cast<int>(res.nodes));
   for (const RecoveryRecord& rec : res.recoveries) {
     std::printf(
         "recovery:         failure at iteration %lld, state reconstructed "
@@ -68,9 +65,7 @@ int main() {
                 static_cast<long long>(rec.inner_iterations_precond),
                 static_cast<long long>(rec.inner_iterations_matrix));
   }
-  std::printf("true rel. res.:   %.2e\n",
-              true_relative_residual(a, b, res.x));
-  std::printf("residual drift:   %+.2e (Eq. 2 of the paper)\n",
-              residual_drift(a, b, res.x, res.r));
+  std::printf("true rel. res.:   %.2e\n", res.true_relres);
+  std::printf("residual drift:   %+.2e (Eq. 2 of the paper)\n", res.drift);
   return res.converged ? 0 : 1;
 }

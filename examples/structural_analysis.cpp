@@ -1,16 +1,17 @@
 // Structural analysis scenario: an elasticity-like operator (the audikw_1
 // stand-in, 3 displacement dof per grid point) on a 128-node simulated
 // cluster, with an eight-node switch failure — the paper's most aggressive
-// multiple-nodes-failure setting (phi = psi = 8).
+// multiple-nodes-failure setting (phi = psi = 8). Both the reference and
+// the failing run go through the facade; only strategy and the failure
+// schedule differ between their specs.
 //
 //   $ ./structural_analysis [nx [ny [nz]]]    (default 14^3 -> 8232 dof)
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "core/metrics.hpp"
-#include "core/resilient_pcg.hpp"
-#include "precond/block_jacobi.hpp"
-#include "sparse/generators.hpp"
+#include "api/registry.hpp"
+#include "api/solve.hpp"
 #include "xp/experiment.hpp"
 
 int main(int argc, char** argv) {
@@ -19,42 +20,45 @@ int main(int argc, char** argv) {
   const index_t nx = argc > 1 ? std::atol(argv[1]) : 14;
   const index_t ny = argc > 2 ? std::atol(argv[2]) : nx;
   const index_t nz = argc > 3 ? std::atol(argv[3]) : ny;
-  const TestProblem prob = audikw_like(nx, ny, nz);
-  const CsrMatrix& a = prob.matrix;
-  const Vector b = xp::make_rhs(a);
   const rank_t nodes = 128;
-  const BlockRowPartition part(a.rows(), nodes);
-  const BlockJacobiPreconditioner precond(a, part, 10);
+
+  // Resolve the matrix once; both the reference and the failing solve
+  // below share it.
+  const TestProblem prob =
+      resolve_matrix("audikw:" + std::to_string(nx) + "," +
+                     std::to_string(ny) + "," + std::to_string(nz));
+
+  SolveSpec spec;
+  spec.matrix_data = &prob.matrix;
+  spec.matrix_name = prob.name;
+  spec.nodes = nodes;
+
+  spec.strategy = Strategy::none;
+  const SolveReport ref = solve(spec);
 
   std::printf("%s: %lld dof, %lld nonzeros (%.1f per row), %d nodes\n\n",
-              prob.name.c_str(), static_cast<long long>(a.rows()),
-              static_cast<long long>(a.nnz()),
-              static_cast<double>(a.nnz()) / static_cast<double>(a.rows()),
+              ref.matrix.c_str(), static_cast<long long>(ref.rows),
+              static_cast<long long>(ref.nnz),
+              static_cast<double>(ref.nnz) / static_cast<double>(ref.rows),
               static_cast<int>(nodes));
-
-  const xp::Reference ref = xp::run_reference(a, b, nodes);
   std::printf("reference: C = %lld iterations, t0 = %.3f s modeled\n\n",
-              static_cast<long long>(ref.iterations), ref.t0_modeled);
+              static_cast<long long>(ref.iterations), ref.modeled_time);
 
   // A switch fault takes out a contiguous block of 8 ranks (paper §5).
   const int phi = 8;
   const index_t interval = 50;
-  xp::RunConfig cfg;
-  cfg.strategy = Strategy::esrp;
-  cfg.interval = interval;
-  cfg.phi = phi;
-  cfg.num_nodes = nodes;
-  cfg.with_failure = true;
-  cfg.psi = phi;
-  cfg.failure_start = 64; // "center" location of the paper
-  cfg.failure_iteration =
-      xp::worst_case_failure_iteration(ref.iterations, interval);
+  spec.strategy = Strategy::esrp;
+  spec.interval = interval;
+  spec.phi = phi;
+  spec.failures.push_back(FailureEvent{
+      xp::worst_case_failure_iteration(ref.iterations, interval),
+      contiguous_ranks(/*start=*/64, phi, nodes)}); // "center" location
 
   std::printf("injecting %d simultaneous node failures at iteration %lld "
               "(ranks 64-71, worst case within the interval containing "
               "C/2)...\n",
-              phi, static_cast<long long>(cfg.failure_iteration));
-  const xp::RunOutcome out = xp::run_experiment(a, b, cfg);
+              phi, static_cast<long long>(spec.failures[0].iteration));
+  const SolveReport out = solve(spec);
 
   std::printf("\nESRP, T = %lld, phi = psi = %d:\n",
               static_cast<long long>(interval), phi);
@@ -63,13 +67,16 @@ int main(int argc, char** argv) {
               static_cast<long long>(out.iterations));
   std::printf("  modeled time:           %.3f s (overhead %.1f%% over t0)\n",
               out.modeled_time,
-              100 * xp::relative_overhead(out.modeled_time, ref.t0_modeled));
+              100 * xp::relative_overhead(out.modeled_time,
+                                          ref.modeled_time));
   std::printf("  reconstruction:         %.3f s modeled (%.1f%% of t0)\n",
-              out.recovery_time, 100 * out.recovery_time / ref.t0_modeled);
+              out.recovery_modeled_time(),
+              100 * out.recovery_modeled_time() / ref.modeled_time);
   std::printf("  iterations rolled back: %lld\n",
-              static_cast<long long>(out.wasted));
+              static_cast<long long>(out.wasted_iterations()));
   std::printf("  residual drift (Eq. 2): %+.2e (failure-free: %+.2e)\n",
               out.drift, ref.drift);
-  std::printf("  fell back to restart:   %s\n", out.restarted ? "yes" : "no");
-  return out.converged && !out.restarted ? 0 : 1;
+  std::printf("  fell back to restart:   %s\n",
+              out.restarted_from_scratch() ? "yes" : "no");
+  return out.converged && !out.restarted_from_scratch() ? 0 : 1;
 }

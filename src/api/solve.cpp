@@ -1,0 +1,273 @@
+#include "api/solve.hpp"
+
+#include <cstdint>
+#include <utility>
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "core/metrics.hpp"
+#include "core/resilient_pcg.hpp"
+#include "netsim/cluster.hpp"
+#include "parallel/parallel.hpp"
+#include "pipelined/dist_pipelined_pcg.hpp"
+#include "pipelined/pipelined_pcg.hpp"
+#include "solver/pcg.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+
+namespace {
+
+/// Apply spec.threads for the duration of one solve and restore the global
+/// setting afterwards (threads = -1 keeps the caller's setting untouched).
+class ThreadOverride {
+public:
+  explicit ThreadOverride(int threads) {
+    if (threads >= 0) {
+      saved_ = num_threads();
+      set_num_threads(threads);
+    }
+  }
+  ~ThreadOverride() {
+    if (saved_ >= 0) set_num_threads(saved_);
+  }
+  ThreadOverride(const ThreadOverride&) = delete;
+  ThreadOverride& operator=(const ThreadOverride&) = delete;
+
+private:
+  int saved_ = -1;
+};
+
+std::unique_ptr<Preconditioner> make_precond(const SolveContext& ctx,
+                                             const BlockRowPartition* part) {
+  return precond_registry().get(ctx.spec.precond).make(
+      PrecondContext{ctx.a, part, ctx.spec});
+}
+
+IterationCallback iteration_adapter(SolverObserver* observer) {
+  if (!observer) return {};
+  return [observer](index_t j, real_t relres) {
+    observer->on_iteration(j, relres);
+  };
+}
+
+// ------------------------------------------------- sequential solvers ----
+
+SolveReport run_pcg(const SolveContext& ctx) {
+  const SolveSpec& spec = ctx.spec;
+  const auto precond = make_precond(ctx, nullptr);
+  Vector x(static_cast<std::size_t>(ctx.a.rows()), 0);
+  if (!spec.x0.empty()) vec_copy(spec.x0, x);
+
+  PcgOptions opts;
+  opts.rtol = spec.rtol;
+  opts.max_iterations = spec.max_iterations;
+  WallTimer timer;
+  const PcgResult res = pcg_solve(ctx.a, ctx.b, x, precond.get(), opts,
+                                  iteration_adapter(ctx.observer));
+
+  SolveReport report;
+  report.converged = res.converged;
+  report.iterations = res.iterations;
+  report.executed_iterations = res.iterations;
+  report.final_relres = res.final_relres;
+  report.flops = res.flops;
+  report.wall_seconds = timer.seconds();
+  report.x = std::move(x);
+  return report;
+}
+
+SolveReport run_pipelined(const SolveContext& ctx) {
+  const SolveSpec& spec = ctx.spec;
+  const auto precond = make_precond(ctx, nullptr);
+  Vector x(static_cast<std::size_t>(ctx.a.rows()), 0);
+  if (!spec.x0.empty()) vec_copy(spec.x0, x);
+
+  PipelinedPcgOptions opts;
+  opts.rtol = spec.rtol;
+  opts.max_iterations = spec.max_iterations;
+  WallTimer timer;
+  const PipelinedPcgResult res = pipelined_pcg_solve(
+      ctx.a, ctx.b, x, precond.get(), opts, iteration_adapter(ctx.observer));
+
+  SolveReport report;
+  report.converged = res.converged;
+  report.iterations = res.iterations;
+  report.executed_iterations = res.iterations;
+  report.final_relres = res.final_relres;
+  report.flops = res.flops;
+  report.wall_seconds = timer.seconds();
+  report.x = std::move(x);
+  return report;
+}
+
+// ------------------------------------------------ distributed solvers ----
+
+/// Residual-accuracy metrics shared by the distributed drivers.
+void finish_distributed(const SolveContext& ctx, SolveReport& report) {
+  report.nodes = ctx.spec.nodes;
+  report.drift = residual_drift(ctx.a, ctx.b, report.x, report.r);
+  report.true_relres = true_relative_residual(ctx.a, ctx.b, report.x);
+}
+
+CostParams cluster_cost(const SolveContext& ctx) {
+  return ctx.spec.calibrated_cost ? xp::calibrated_cost(ctx.a, ctx.spec.nodes)
+                                  : CostParams{};
+}
+
+SolveReport run_resilient(const SolveContext& ctx) {
+  const SolveSpec& spec = ctx.spec;
+  const BlockRowPartition part(ctx.a.rows(), spec.nodes);
+  SimCluster cluster(part, cluster_cost(ctx));
+  const auto precond = make_precond(ctx, &part);
+
+  ResilienceOptions opts;
+  opts.strategy = spec.strategy;
+  opts.interval = spec.interval;
+  opts.phi = spec.phi;
+  opts.queue_capacity = spec.queue_capacity;
+  opts.rtol = spec.rtol;
+  if (spec.max_iterations > 0) opts.max_iterations = spec.max_iterations;
+  opts.precond_formulation = spec.formulation;
+  opts.spare_nodes = spec.spare_nodes;
+  opts.residual_replacement = spec.residual_replacement;
+  opts.extra_failures = spec.failures;
+
+  ResilientPcg solver(ctx.a, *precond, cluster, opts);
+  if (SolverObserver* obs = ctx.observer) {
+    solver.set_progress_callback(
+        [obs](index_t j, real_t relres) { obs->on_iteration(j, relres); });
+    solver.set_failure_callback(
+        [obs](const FailureEvent& e) { obs->on_failure(e); });
+    solver.set_recovery_callback(
+        [obs](const RecoveryRecord& rec) { obs->on_recovery(rec); });
+  }
+  ResilientSolveResult res = solver.solve(ctx.b, spec.x0);
+
+  SolveReport report;
+  report.converged = res.converged;
+  report.iterations = res.trajectory_iterations;
+  report.executed_iterations = res.executed_iterations;
+  report.final_relres = res.final_relres;
+  report.modeled_time = res.modeled_time;
+  report.wall_seconds = res.wall_seconds;
+  report.recoveries = std::move(res.recoveries);
+  report.x = std::move(res.x);
+  report.r = std::move(res.r);
+  finish_distributed(ctx, report);
+  return report;
+}
+
+SolveReport run_dist_pipelined(const SolveContext& ctx) {
+  const SolveSpec& spec = ctx.spec;
+  const BlockRowPartition part(ctx.a.rows(), spec.nodes);
+  SimCluster cluster(part, cluster_cost(ctx));
+  const auto precond = make_precond(ctx, &part);
+
+  DistPipelinedOptions opts;
+  opts.rtol = spec.rtol;
+  if (spec.max_iterations > 0) opts.max_iterations = spec.max_iterations;
+  opts.strategy = spec.strategy;
+  opts.interval = spec.interval;
+  opts.phi = spec.phi;
+  if (!spec.failures.empty()) opts.failure = spec.failures.front();
+
+  DistPipelinedPcg solver(ctx.a, *precond, cluster, opts);
+  if (SolverObserver* obs = ctx.observer) {
+    solver.set_progress_callback(
+        [obs](index_t j, real_t relres) { obs->on_iteration(j, relres); });
+    solver.set_failure_callback(
+        [obs](const FailureEvent& e) { obs->on_failure(e); });
+    solver.set_recovery_callback(
+        [obs](const RecoveryRecord& rec) { obs->on_recovery(rec); });
+  }
+  WallTimer timer;
+  DistPipelinedResult res = solver.solve(ctx.b);
+
+  SolveReport report;
+  report.converged = res.converged;
+  report.iterations = res.trajectory_iterations;
+  report.executed_iterations = res.executed_iterations;
+  report.final_relres = res.final_relres;
+  report.modeled_time = res.modeled_time;
+  report.wall_seconds = timer.seconds();
+  report.recoveries = std::move(res.recoveries);
+  report.x = std::move(res.x);
+  report.r = std::move(res.r);
+  finish_distributed(ctx, report);
+  return report;
+}
+
+} // namespace
+
+Registry<SolverEntry>& solver_registry() {
+  static Registry<SolverEntry>* reg = [] {
+    auto* r = new Registry<SolverEntry>("solver");
+    r->add("pcg", "sequential preconditioned CG (paper Alg. 1)",
+           SolverEntry{.run = run_pcg});
+    r->add("pipelined",
+           "sequential pipelined PCG (Ghysels & Vanroose, one fused "
+           "reduction)",
+           SolverEntry{.run = run_pipelined});
+    r->add("resilient-pcg",
+           "distributed PCG on the simulated cluster with ESRP/IMCR "
+           "recovery (paper Alg. 3)",
+           SolverEntry{.run = run_resilient,
+                       .distributed = true,
+                       .max_failure_events = SIZE_MAX,
+                       .supports_esrp = true});
+    r->add("dist-pipelined",
+           "distributed pipelined PCG (communication hiding; strategies "
+           "none/imcr)",
+           SolverEntry{.run = run_dist_pipelined,
+                       .distributed = true,
+                       .max_failure_events = 1,
+                       .supports_esrp = false,
+                       .supports_x0 = false});
+    return r;
+  }();
+  return *reg;
+}
+
+SolveReport solve(const SolveSpec& spec, SolverObserver* observer) {
+  validate_spec(spec);
+  const SolverEntry& entry = solver_registry().get(spec.solver);
+
+  // Resolve the problem: borrowed matrix or registry-built one.
+  TestProblem built;
+  const CsrMatrix* a = spec.matrix_data;
+  std::string name = spec.matrix_name.empty() ? "custom" : spec.matrix_name;
+  if (a == nullptr) {
+    built = resolve_matrix(spec.matrix);
+    a = &built.matrix;
+    name = built.name;
+  }
+  ESRP_CHECK_MSG(a->rows() == a->cols(), "solve() needs a square matrix");
+
+  Vector rhs_storage;
+  std::span<const real_t> b = spec.rhs;
+  if (b.empty()) {
+    rhs_storage = xp::make_rhs(*a);
+    b = rhs_storage;
+  }
+  ESRP_CHECK_MSG(static_cast<index_t>(b.size()) == a->rows(),
+                 "rhs size " << b.size() << " does not match matrix dimension "
+                             << a->rows());
+  ESRP_CHECK_MSG(spec.x0.empty() ||
+                     static_cast<index_t>(spec.x0.size()) == a->rows(),
+                 "x0 size " << spec.x0.size()
+                            << " does not match matrix dimension "
+                            << a->rows());
+
+  const ThreadOverride threads(spec.threads);
+  SolveReport report = entry.run(SolveContext{*a, b, spec, observer});
+  report.solver = spec.solver;
+  report.precond = spec.precond;
+  report.matrix = name;
+  report.rows = a->rows();
+  report.nnz = a->nnz();
+  return report;
+}
+
+} // namespace esrp

@@ -1,0 +1,116 @@
+#include "api/solve_spec.hpp"
+
+#include "api/registry.hpp"
+#include "common/error.hpp"
+
+namespace esrp {
+
+index_t SolveReport::wasted_iterations() const {
+  index_t total = 0;
+  for (const RecoveryRecord& rec : recoveries) total += rec.wasted_iterations;
+  return total;
+}
+
+double SolveReport::recovery_modeled_time() const {
+  double total = 0;
+  for (const RecoveryRecord& rec : recoveries) total += rec.modeled_time;
+  return total;
+}
+
+bool SolveReport::restarted_from_scratch() const {
+  for (const RecoveryRecord& rec : recoveries)
+    if (rec.restarted_from_scratch) return true;
+  return false;
+}
+
+namespace {
+
+[[noreturn]] void invalid(const std::string& what) {
+  throw Error("invalid SolveSpec: " + what);
+}
+
+} // namespace
+
+void validate_spec(const SolveSpec& spec) {
+  if (spec.matrix_data == nullptr && spec.matrix.empty())
+    invalid("set either `matrix` (a registry key) or `matrix_data`");
+  if (spec.matrix_data == nullptr) check_matrix_key(spec.matrix);
+
+  // Unknown solver / preconditioner keys throw the registry's
+  // "did you mean" message.
+  const SolverEntry& solver = solver_registry().get(spec.solver);
+  const PrecondEntry& precond = precond_registry().get(spec.precond);
+
+  if (solver.distributed && !precond.explicit_action) {
+    std::string valid;
+    for (const std::string& key : precond_registry().keys()) {
+      if (precond_registry().get(key).explicit_action)
+        valid += (valid.empty() ? "" : ", ") + key;
+    }
+    invalid("preconditioner \"" + spec.precond +
+            "\" has no explicit node-local action matrix, which the "
+            "distributed solvers require (use one of: " +
+            valid + ")");
+  }
+
+  if (!(spec.rtol > 0)) invalid("rtol must be positive");
+  if (spec.max_iterations < 0) invalid("max_iterations must be >= 0");
+  if (spec.interval < 1)
+    invalid("checkpoint interval must be >= 1, got " +
+            std::to_string(spec.interval));
+  if (spec.phi < 1) invalid("phi (redundant copies) must be >= 1");
+  if (spec.block_size < 1) invalid("block_size must be >= 1");
+  if (spec.queue_capacity < 1) invalid("queue_capacity must be >= 1");
+  if (spec.residual_replacement < 0)
+    invalid("residual_replacement must be >= 0");
+  if (spec.threads < -1)
+    invalid("threads must be -1 (keep), 0 (hardware), or a positive count");
+  if (!(spec.ssor_omega > 0 && spec.ssor_omega < 2))
+    invalid("ssor_omega must lie in (0, 2)");
+
+  for (std::size_t i = 0; i < spec.failures.size(); ++i) {
+    const FailureEvent& e = spec.failures[i];
+    if (!e.enabled())
+      invalid("failure event " + std::to_string(i) +
+              " is not fully specified (needs iteration >= 0 and ranks)");
+    for (std::size_t k = i + 1; k < spec.failures.size(); ++k) {
+      if (spec.failures[k].iteration == e.iteration)
+        invalid("failure events must have pairwise distinct iterations "
+                "(duplicate at iteration " +
+                std::to_string(e.iteration) + ")");
+    }
+  }
+
+  if (solver.distributed) {
+    if (spec.nodes < 1) invalid("nodes must be >= 1");
+    if (spec.phi >= spec.nodes)
+      invalid("phi = " + std::to_string(spec.phi) +
+              " redundant copies need phi < nodes = " +
+              std::to_string(spec.nodes));
+    for (const FailureEvent& e : spec.failures) {
+      if (e.ranks.size() >= static_cast<std::size_t>(spec.nodes))
+        invalid("a failure event must leave at least one survivor");
+      for (const rank_t s : e.ranks) {
+        if (s < 0 || s >= spec.nodes)
+          invalid("failure rank " + std::to_string(s) +
+                  " out of range [0, " + std::to_string(spec.nodes) + ")");
+      }
+    }
+    if (spec.failures.size() > solver.max_failure_events)
+      invalid("\"" + spec.solver + "\" supports at most " +
+              std::to_string(solver.max_failure_events) + " failure event" +
+              (solver.max_failure_events == 1 ? "" : "s"));
+    if (spec.strategy == Strategy::esrp && !solver.supports_esrp)
+      invalid("\"" + spec.solver +
+              "\" supports strategies none and imcr only (exact state "
+              "reconstruction for pipelined PCG is the contribution of the "
+              "paper's reference [16])");
+  } else if (!spec.failures.empty()) {
+    invalid("solver \"" + spec.solver +
+            "\" is sequential and cannot inject node failures");
+  }
+  if (!spec.x0.empty() && !solver.supports_x0)
+    invalid("\"" + spec.solver + "\" does not honor an initial guess (x0)");
+}
+
+} // namespace esrp

@@ -1,0 +1,147 @@
+// The unified solver front door: one declarative `SolveSpec` describing the
+// whole experiment grid point — problem x solver x preconditioner x
+// resilience strategy x failure schedule x threads, all as plain data — and
+// one `SolveReport` subsuming the per-solver result structs
+// (`PcgResult`, `PipelinedPcgResult`, `ResilientSolveResult`,
+// `DistPipelinedResult`). `esrp::solve(spec)` (api/solve.hpp) dispatches
+// through the string-keyed registries in api/registry.hpp, so a new solver,
+// preconditioner, or matrix generator becomes reachable from the CLI, the
+// examples, and the experiment harness by registering one factory.
+//
+// Lifetime: the spans (`rhs`, `x0`) and the `matrix_data` pointer are
+// borrowed — they must stay alive for the duration of the solve() call.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "common/vec.hpp"
+#include "core/resilient_pcg.hpp"
+#include "netsim/failure.hpp"
+
+namespace esrp {
+
+struct SolveSpec {
+  // --- problem ---------------------------------------------------------
+  /// Matrix registry key (api/registry.hpp): "emilia", "audikw",
+  /// "poisson2d:NX,NY", "poisson3d:NX,NY,NZ", "laplace1d:N",
+  /// "mm:<file.mtx>". Ignored when `matrix_data` is set.
+  std::string matrix;
+  /// In-memory matrix (for callers that assembled their own operator);
+  /// takes precedence over `matrix`.
+  const CsrMatrix* matrix_data = nullptr;
+  /// Report label when `matrix_data` is used (defaults to "custom").
+  std::string matrix_name;
+  /// Right-hand side; empty = the deterministic pseudo-random
+  /// xp::make_rhs(a) every experiment uses.
+  std::span<const real_t> rhs;
+  /// Initial guess; empty = zero vector.
+  std::span<const real_t> x0;
+
+  // --- solver ----------------------------------------------------------
+  /// Solver registry key: "pcg", "pipelined", "resilient-pcg",
+  /// "dist-pipelined".
+  std::string solver = "resilient-pcg";
+  /// Preconditioner registry key: "identity", "jacobi", "block-jacobi",
+  /// "ssor", "ic0".
+  std::string precond = "block-jacobi";
+  real_t rtol = 1e-8;        ///< convergence: ||r||_2 / ||b||_2 < rtol
+  index_t max_iterations = 0; ///< 0 = the solver's own default cap
+
+  // --- preconditioner parameters --------------------------------------
+  index_t block_size = 10;  ///< block Jacobi block size (paper: 10)
+  real_t ssor_omega = 1.0;  ///< SSOR relaxation factor, in (0, 2)
+  real_t ic0_shift = 0.0;   ///< IC(0) diagonal shift
+
+  // --- simulated cluster (distributed solvers only) --------------------
+  rank_t nodes = 128;          ///< simulated cluster size (paper: 128)
+  /// Use xp::calibrated_cost (the paper-regime cost model) instead of the
+  /// physical-default CostParams.
+  bool calibrated_cost = true;
+
+  // --- resilience (distributed solvers only) ---------------------------
+  Strategy strategy = Strategy::none;
+  index_t interval = 20;          ///< checkpoint interval T (1 = classic ESR)
+  int phi = 1;                    ///< redundant copies / survivable failures
+  std::size_t queue_capacity = 3; ///< ESRP redundancy-queue slots
+  PrecondFormulation formulation = PrecondFormulation::inverse;
+  bool spare_nodes = true;        ///< false: survivors absorb failed ranks
+  index_t residual_replacement = 0; ///< recompute r = b - A x every k iters
+
+  /// Failure schedule: each event fires once at its iteration. Events must
+  /// be fully specified (iteration >= 0, non-empty ranks) with pairwise
+  /// distinct iterations. "dist-pipelined" supports at most one event.
+  std::vector<FailureEvent> failures;
+
+  // --- execution -------------------------------------------------------
+  /// Kernel threads for this solve: -1 = keep the current global setting,
+  /// 0 = all hardware threads, n = exactly n. The previous setting is
+  /// restored when solve() returns.
+  int threads = -1;
+};
+
+/// One result type for every solver. Fields a solver does not produce stay
+/// at their defaults: sequential solvers leave `nodes` = 0, `modeled_time`
+/// = 0 and `r` empty; distributed solvers leave `flops` = 0 (their work is
+/// accounted in modeled time instead).
+struct SolveReport {
+  std::string solver;  ///< resolved solver key
+  std::string precond; ///< resolved preconditioner key
+  std::string matrix;  ///< problem name
+  index_t rows = 0;
+  index_t nnz = 0;
+  rank_t nodes = 0; ///< simulated cluster size (0 for sequential solvers)
+
+  bool converged = false;
+  index_t iterations = 0;          ///< trajectory iterations at convergence
+  index_t executed_iterations = 0; ///< bodies executed incl. redone ones
+  real_t final_relres = 0;
+  double flops = 0;        ///< total flops (sequential solvers)
+  double modeled_time = 0; ///< cluster modeled time [s]
+  double wall_seconds = 0; ///< host wall time (reference only)
+
+  std::vector<RecoveryRecord> recoveries;
+  Vector x; ///< solution
+  Vector r; ///< recursive residual (distributed solvers; for Eq. 2)
+  real_t drift = 0;       ///< residual drift (paper Eq. 2), when r is known
+  real_t true_relres = 0; ///< ||b - A x||_2 / ||b||_2 (distributed solvers)
+
+  /// Total rollback distance across all recoveries.
+  index_t wasted_iterations() const;
+  /// Modeled time spent inside recoveries.
+  double recovery_modeled_time() const;
+  /// True iff any recovery fell back to a scratch restart.
+  bool restarted_from_scratch() const;
+};
+
+/// Observer hooks shared by every solver behind the facade (replacing the
+/// solver-specific `IterationCallback` / `IterationHook` one-offs). All
+/// defaults are no-ops; override what you need.
+class SolverObserver {
+public:
+  virtual ~SolverObserver() = default;
+
+  /// Every convergence check: (trajectory iteration j, ||r||_2 / ||b||_2)
+  /// — once per executed iteration body plus the final (converging) check,
+  /// identically across all registered solvers. After a recovery, j jumps
+  /// back — the rollback.
+  virtual void on_iteration(index_t /*iteration*/, real_t /*relres*/) {}
+
+  /// A failure event fired (before any recovery work).
+  virtual void on_failure(const FailureEvent& /*event*/) {}
+
+  /// A recovery completed (reconstruction, checkpoint restore, or scratch
+  /// restart — see the record).
+  virtual void on_recovery(const RecoveryRecord& /*record*/) {}
+};
+
+/// Check every invariant of a spec that can be checked without building the
+/// problem: key existence in all three registries (with "did you mean"
+/// suggestions), positive tolerances/intervals/sizes, phi vs nodes, and a
+/// well-formed failure schedule. Throws esrp::Error; solve() calls this
+/// first.
+void validate_spec(const SolveSpec& spec);
+
+} // namespace esrp

@@ -11,6 +11,21 @@
 
 namespace esrp {
 
+std::string to_string(PrecondFormulation f) {
+  switch (f) {
+    case PrecondFormulation::inverse: return "inverse";
+    case PrecondFormulation::matrix: return "matrix";
+  }
+  return "?";
+}
+
+PrecondFormulation formulation_from_string(std::string_view name) {
+  if (name == "inverse") return PrecondFormulation::inverse;
+  if (name == "matrix") return PrecondFormulation::matrix;
+  throw Error("unknown preconditioner formulation \"" + std::string(name) +
+              "\" (valid: inverse, matrix)");
+}
+
 namespace {
 
 /// Gather the I_f entries of a redundant copy into a compact vector ordered

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <optional>
+#include <string>
+#include <string_view>
 
 #include "comm/exchange.hpp"
 #include "netsim/cluster.hpp"
@@ -38,6 +40,12 @@ namespace esrp {
 ///             directly as r_{I_f} = M_{I_f,I_f} z_{I_f} +
 ///             M_{I_f,I\I_f} z_{I\I_f}, with no inner solve.
 enum class PrecondFormulation { inverse, matrix };
+
+std::string to_string(PrecondFormulation f);
+
+/// Inverse of to_string(PrecondFormulation): "inverse" | "matrix". Throws
+/// esrp::Error on anything else, naming the valid spellings.
+PrecondFormulation formulation_from_string(std::string_view name);
 
 struct ReconstructionInputs {
   const CsrMatrix* a = nullptr;         ///< system matrix (static data)

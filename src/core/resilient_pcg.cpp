@@ -37,6 +37,14 @@ std::string to_string(Strategy s) {
   return "?";
 }
 
+Strategy strategy_from_string(std::string_view name) {
+  if (name == "none") return Strategy::none;
+  if (name == "esrp") return Strategy::esrp;
+  if (name == "imcr") return Strategy::imcr;
+  throw Error("unknown strategy \"" + std::string(name) +
+              "\" (valid: none, esrp, imcr)");
+}
+
 namespace {
 
 /// The preconditioner action must be block diagonal with respect to the node
@@ -450,11 +458,16 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
 
   while (true) {
     result.final_relres = rnorm / bnorm;
+    // The sequential solvers' callback contract: the observer sees the
+    // converging check and every executed body, but not the bare
+    // iteration-cap exit (their loop bound ends without a final callback).
     if (result.final_relres < opts_.rtol) {
+      if (progress_) progress_(j, result.final_relres);
       result.converged = true;
       break;
     }
     if (executed >= opts_.max_iterations) break;
+    if (progress_) progress_(j, result.final_relres);
 
     if (hook_) hook_(j, *x_, *r_, *z_, *p_);
 
@@ -509,8 +522,10 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
       }
       if (pending < events_.size()) {
         event_done[pending] = true;
+        if (on_failure_) on_failure_(events_[pending]);
         RecoveryRecord record;
         j = inject_and_recover(events_[pending], j, b, x0, record);
+        if (on_recovery_) on_recovery_(record);
         result.recoveries.push_back(record);
         rz = dot(*r_, *z_);
         rnorm = std::sqrt(dot(*r_, *r_));

@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/aspmv_plan.hpp"
@@ -41,6 +42,10 @@ namespace esrp {
 enum class Strategy { none, esrp, imcr };
 
 std::string to_string(Strategy s);
+
+/// Inverse of to_string(Strategy): "none" | "esrp" | "imcr". Throws
+/// esrp::Error on anything else, naming the valid spellings.
+Strategy strategy_from_string(std::string_view name);
 
 struct ResilienceOptions {
   Strategy strategy = Strategy::none;
@@ -118,6 +123,24 @@ public:
 
   void set_iteration_hook(IterationHook hook) { hook_ = std::move(hook); }
 
+  /// Lightweight progress callback (j, ||r||_2 / ||b||_2), invoked once
+  /// per executed iteration body plus the final converging check — and not
+  /// on a bare iteration-cap exit — matching the sequential solvers'
+  /// IterationCallback contract. The facade's SolverObserver::on_iteration
+  /// rides on this.
+  void set_progress_callback(std::function<void(index_t, real_t)> cb) {
+    progress_ = std::move(cb);
+  }
+  /// Invoked when a failure event fires, before any recovery work.
+  void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
+    on_failure_ = std::move(cb);
+  }
+  /// Invoked after each completed recovery (reconstruction, restore, or
+  /// scratch restart) with the finished record.
+  void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
+    on_recovery_ = std::move(cb);
+  }
+
   const ResilienceOptions& options() const { return opts_; }
   const SpmvPlan& spmv_plan() const { return *plan_; }
   const AspmvPlan& aspmv_plan() const { return *aug_; }
@@ -191,6 +214,9 @@ private:
   std::vector<FailureEvent> events_; ///< merged failure + extra_failures
 
   IterationHook hook_;
+  std::function<void(index_t, real_t)> progress_;
+  std::function<void(const FailureEvent&)> on_failure_;
+  std::function<void(const RecoveryRecord&)> on_recovery_;
 };
 
 } // namespace esrp

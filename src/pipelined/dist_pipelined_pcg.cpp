@@ -191,6 +191,9 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
     cluster_->allreduce_overlapped(3, CommCategory::allreduce);
 
     result.final_relres = std::sqrt(rr) / bnorm;
+    // Before the convergence break: observers see the converging relres,
+    // matching every other solver behind the facade.
+    if (progress_) progress_(j, result.final_relres);
     if (result.final_relres < opts_.rtol) {
       result.converged = true;
       break;
@@ -200,6 +203,7 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
     if (!injected && opts_.failure.enabled() &&
         j == opts_.failure.iteration) {
       injected = true;
+      if (on_failure_) on_failure_(opts_.failure);
       RecoveryRecord record;
       record.failed_at = j;
       const std::span<const rank_t> failed = opts_.failure.ranks;
@@ -222,6 +226,7 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
       record.restored_to = j;
       record.wasted_iterations = record.failed_at - j;
       record.modeled_time = cluster_->modeled_time() - t0;
+      if (on_recovery_) on_recovery_(record);
       result.recoveries.push_back(record);
       ++executed;
       continue;

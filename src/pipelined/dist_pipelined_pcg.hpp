@@ -13,6 +13,7 @@
 // of scope here; a failure without a checkpoint restarts from scratch.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 
@@ -53,11 +54,26 @@ public:
 
   DistPipelinedResult solve(std::span<const real_t> b);
 
+  /// Same observer surface as ResilientPcg (see core/resilient_pcg.hpp):
+  /// per-iteration progress, failure, and recovery callbacks.
+  void set_progress_callback(std::function<void(index_t, real_t)> cb) {
+    progress_ = std::move(cb);
+  }
+  void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
+    on_failure_ = std::move(cb);
+  }
+  void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
+    on_recovery_ = std::move(cb);
+  }
+
 private:
   const CsrMatrix* a_;
   const Preconditioner* precond_;
   SimCluster* cluster_;
   DistPipelinedOptions opts_;
+  std::function<void(index_t, real_t)> progress_;
+  std::function<void(const FailureEvent&)> on_failure_;
+  std::function<void(const RecoveryRecord&)> on_recovery_;
 };
 
 } // namespace esrp

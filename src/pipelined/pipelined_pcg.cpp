@@ -11,7 +11,8 @@ PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
                                        std::span<const real_t> b,
                                        std::span<real_t> x,
                                        const Preconditioner* precond,
-                                       const PipelinedPcgOptions& opts) {
+                                       const PipelinedPcgOptions& opts,
+                                       const IterationCallback& on_iteration) {
   const index_t n = a.rows();
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(static_cast<index_t>(b.size()) == n);
@@ -60,6 +61,7 @@ PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
     result.flops += 6.0 * static_cast<double>(n);
 
     result.final_relres = std::sqrt(rr) / bnorm;
+    if (on_iteration) on_iteration(j, result.final_relres);
     if (result.final_relres < opts.rtol) {
       result.converged = true;
       result.iterations = j;
@@ -97,6 +99,9 @@ PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
   }
 
   result.iterations = max_iter;
+  // Recompute on the cap exit: the loop-top value predates the final
+  // iteration's updates (pcg_solve does the same after its loop).
+  result.final_relres = vec_norm2(r) / bnorm;
   return result;
 }
 

@@ -22,6 +22,7 @@
 #include "common/types.hpp"
 #include "common/vec.hpp"
 #include "precond/preconditioner.hpp"
+#include "solver/pcg.hpp" // IterationCallback
 #include "sparse/csr.hpp"
 
 namespace esrp {
@@ -39,10 +40,11 @@ struct PipelinedPcgResult {
 };
 
 /// Sequential reference implementation. `precond` may be nullptr.
-PipelinedPcgResult pipelined_pcg_solve(const CsrMatrix& a,
-                                       std::span<const real_t> b,
-                                       std::span<real_t> x,
-                                       const Preconditioner* precond,
-                                       const PipelinedPcgOptions& opts = {});
+/// `on_iteration` (may be empty) is invoked once per iteration with
+/// (j, ||r||/||b||), matching pcg_solve's callback contract.
+PipelinedPcgResult pipelined_pcg_solve(
+    const CsrMatrix& a, std::span<const real_t> b, std::span<real_t> x,
+    const Preconditioner* precond, const PipelinedPcgOptions& opts = {},
+    const IterationCallback& on_iteration = {});
 
 } // namespace esrp

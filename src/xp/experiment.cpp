@@ -2,10 +2,9 @@
 
 #include <sstream>
 
+#include "api/solve.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "core/metrics.hpp"
-#include "precond/block_jacobi.hpp"
 
 namespace esrp::xp {
 
@@ -46,41 +45,44 @@ Vector make_rhs(const CsrMatrix& a) {
 
 RunOutcome run_experiment(const CsrMatrix& a, std::span<const real_t> b,
                           const RunConfig& cfg) {
-  BlockRowPartition part(a.rows(), cfg.num_nodes);
-  SimCluster cluster(part, calibrated_cost(a, cfg.num_nodes));
-  BlockJacobiPreconditioner precond(a, part, cfg.max_block_size);
-
-  ResilienceOptions opts;
-  opts.strategy = cfg.strategy;
-  opts.interval = cfg.interval;
-  opts.phi = cfg.phi;
-  opts.queue_capacity = cfg.queue_capacity;
-  opts.rtol = cfg.rtol;
+  // The harness is a thin adapter over the solver facade: one RunConfig
+  // becomes one SolveSpec, and esrp::solve does the construction the
+  // harness used to open-code (partition, calibrated cluster, node-aligned
+  // block Jacobi).
+  SolveSpec spec;
+  spec.matrix_data = &a;
+  spec.rhs = b;
+  spec.solver = "resilient-pcg";
+  spec.precond = "block-jacobi";
+  spec.block_size = cfg.max_block_size;
+  spec.nodes = cfg.num_nodes;
+  spec.strategy = cfg.strategy;
+  spec.interval = cfg.interval;
+  spec.phi = cfg.phi;
+  spec.queue_capacity = cfg.queue_capacity;
+  spec.rtol = cfg.rtol;
   if (cfg.with_failure) {
     ESRP_CHECK_MSG(cfg.psi >= 1, "failure run needs psi >= 1");
     ESRP_CHECK_MSG(cfg.failure_iteration >= 0,
                    "failure run needs a failure iteration");
-    opts.failure.iteration = cfg.failure_iteration;
-    opts.failure.ranks =
-        contiguous_ranks(cfg.failure_start, cfg.psi, cfg.num_nodes);
+    spec.failures.push_back(FailureEvent{
+        cfg.failure_iteration,
+        contiguous_ranks(cfg.failure_start, cfg.psi, cfg.num_nodes)});
   }
 
-  ResilientPcg solver(a, precond, cluster, opts);
-  const ResilientSolveResult res = solver.solve(b);
+  const SolveReport report = esrp::solve(spec);
 
   RunOutcome out;
-  out.converged = res.converged;
-  out.iterations = res.trajectory_iterations;
-  out.executed = res.executed_iterations;
-  out.modeled_time = res.modeled_time;
-  out.wall_seconds = res.wall_seconds;
-  out.final_relres = res.final_relres;
-  for (const RecoveryRecord& rec : res.recoveries) {
-    out.recovery_time += rec.modeled_time;
-    out.wasted += rec.wasted_iterations;
-    out.restarted = out.restarted || rec.restarted_from_scratch;
-  }
-  out.drift = residual_drift(a, b, res.x, res.r);
+  out.converged = report.converged;
+  out.iterations = report.iterations;
+  out.executed = report.executed_iterations;
+  out.modeled_time = report.modeled_time;
+  out.wall_seconds = report.wall_seconds;
+  out.final_relres = report.final_relres;
+  out.recovery_time = report.recovery_modeled_time();
+  out.wasted = report.wasted_iterations();
+  out.restarted = report.restarted_from_scratch();
+  out.drift = report.drift;
   return out;
 }
 

@@ -1,0 +1,137 @@
+// SolverObserver semantics across the facade: on_iteration fires once per
+// executed iteration body, on_failure/on_recovery bracket every failure
+// event, and the rollback is visible as a decrease in the observed
+// iteration numbers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/solve.hpp"
+#include "netsim/failure.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+class RecordingObserver final : public SolverObserver {
+public:
+  void on_iteration(index_t iteration, real_t relres) override {
+    iterations.push_back(iteration);
+    relres_values.push_back(relres);
+  }
+  void on_failure(const FailureEvent& event) override {
+    failures.push_back(event);
+  }
+  void on_recovery(const RecoveryRecord& record) override {
+    recoveries.push_back(record);
+  }
+
+  std::vector<index_t> iterations;
+  std::vector<real_t> relres_values;
+  std::vector<FailureEvent> failures;
+  std::vector<RecoveryRecord> recoveries;
+};
+
+class SolveObserver : public ::testing::Test {
+protected:
+  SolveObserver() : a_(poisson2d(12, 12)), b_(xp::make_rhs(a_)) {}
+
+  SolveSpec base_spec() const {
+    SolveSpec spec;
+    spec.matrix_data = &a_;
+    spec.rhs = b_;
+    return spec;
+  }
+
+  CsrMatrix a_;
+  Vector b_;
+};
+
+TEST_F(SolveObserver, ResilientSolveReportsFailureAndRecovery) {
+  SolveSpec spec = base_spec();
+  spec.solver = "resilient-pcg";
+  spec.precond = "block-jacobi";
+  spec.nodes = 6;
+  spec.strategy = Strategy::esrp;
+  spec.interval = 5;
+  spec.phi = 2;
+  // Mid-interval failure (the storage pair lands at iterations 10/11), so
+  // the recovery must roll back — the observer sees the iteration number
+  // decrease.
+  const FailureEvent event{13, contiguous_ranks(1, 2, 6)};
+  spec.failures.push_back(event);
+
+  RecordingObserver obs;
+  const SolveReport report = solve(spec, &obs);
+  ASSERT_TRUE(report.converged);
+
+  // One call per executed iteration body plus the final converging check —
+  // the uniform contract across all registered solvers.
+  EXPECT_EQ(static_cast<index_t>(obs.iterations.size()),
+            report.executed_iterations + 1);
+  EXPECT_LT(obs.relres_values.back(), spec.rtol);
+
+  // Exactly one failure, reported with the configured event...
+  ASSERT_EQ(obs.failures.size(), 1u);
+  EXPECT_EQ(obs.failures[0].iteration, event.iteration);
+  EXPECT_EQ(obs.failures[0].ranks, event.ranks);
+  // ...and one recovery whose record matches the report's.
+  ASSERT_EQ(obs.recoveries.size(), 1u);
+  ASSERT_EQ(report.recoveries.size(), 1u);
+  EXPECT_EQ(obs.recoveries[0].failed_at, report.recoveries[0].failed_at);
+  EXPECT_EQ(obs.recoveries[0].restored_to, report.recoveries[0].restored_to);
+
+  // The rollback is visible: some consecutive pair of observed iteration
+  // numbers decreases (back to the restored iteration).
+  bool saw_rollback = false;
+  for (std::size_t k = 1; k < obs.iterations.size(); ++k)
+    saw_rollback = saw_rollback || obs.iterations[k] < obs.iterations[k - 1];
+  EXPECT_TRUE(saw_rollback);
+}
+
+TEST_F(SolveObserver, SequentialSolversReportEveryIteration) {
+  for (const char* solver : {"pcg", "pipelined"}) {
+    SCOPED_TRACE(solver);
+    SolveSpec spec = base_spec();
+    spec.solver = solver;
+    spec.precond = "jacobi";
+
+    RecordingObserver obs;
+    const SolveReport report = solve(spec, &obs);
+    ASSERT_TRUE(report.converged);
+
+    // The callback fires before the convergence check, so the converging
+    // iteration is observed too.
+    EXPECT_EQ(static_cast<index_t>(obs.iterations.size()),
+              report.executed_iterations + 1);
+    // Iteration numbers are 0..C with no failures to roll back.
+    for (std::size_t k = 0; k < obs.iterations.size(); ++k)
+      EXPECT_EQ(obs.iterations[k], static_cast<index_t>(k));
+    // The last observed relres is the converged one.
+    EXPECT_EQ(obs.relres_values.back(), report.final_relres);
+  }
+}
+
+TEST_F(SolveObserver, DistPipelinedReportsRecovery) {
+  SolveSpec spec = base_spec();
+  spec.solver = "dist-pipelined";
+  spec.precond = "block-jacobi";
+  spec.nodes = 6;
+  spec.strategy = Strategy::imcr;
+  spec.interval = 5;
+  spec.phi = 2;
+  spec.failures.push_back(FailureEvent{11, contiguous_ranks(1, 2, 6)});
+
+  RecordingObserver obs;
+  const SolveReport report = solve(spec, &obs);
+  ASSERT_TRUE(report.converged);
+  EXPECT_EQ(obs.failures.size(), 1u);
+  EXPECT_EQ(obs.recoveries.size(), 1u);
+  EXPECT_EQ(static_cast<index_t>(obs.iterations.size()),
+            report.executed_iterations + 1);
+  EXPECT_LT(obs.relres_values.back(), spec.rtol);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,203 @@
+// SolveSpec validation: every malformed-spec class the facade must reject
+// before any expensive work — bad scalars, phi vs nodes, malformed failure
+// schedules, unknown registry keys, and solver/strategy mismatches.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/solve.hpp"
+#include "common/error.hpp"
+#include "netsim/failure.hpp"
+
+namespace esrp {
+namespace {
+
+/// Smallest valid distributed spec.
+SolveSpec distributed_spec() {
+  SolveSpec spec;
+  spec.matrix = "poisson2d:8,8";
+  spec.solver = "resilient-pcg";
+  spec.precond = "block-jacobi";
+  spec.nodes = 4;
+  spec.phi = 1;
+  return spec;
+}
+
+void expect_invalid(const SolveSpec& spec, const std::string& needle) {
+  try {
+    validate_spec(spec);
+    FAIL() << "expected validation to reject the spec (" << needle << ")";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SolveSpecValidation, AcceptsMinimalSpecs) {
+  EXPECT_NO_THROW(validate_spec(distributed_spec()));
+  SolveSpec seq;
+  seq.matrix = "poisson2d:8,8";
+  seq.solver = "pcg";
+  seq.precond = "jacobi";
+  EXPECT_NO_THROW(validate_spec(seq));
+}
+
+TEST(SolveSpecValidation, RequiresAProblem) {
+  SolveSpec spec = distributed_spec();
+  spec.matrix.clear();
+  expect_invalid(spec, "matrix");
+}
+
+TEST(SolveSpecValidation, RejectsNonPositiveInterval) {
+  SolveSpec spec = distributed_spec();
+  spec.interval = 0;
+  expect_invalid(spec, "interval");
+  spec.interval = -20;
+  expect_invalid(spec, "interval");
+}
+
+TEST(SolveSpecValidation, RejectsBadScalars) {
+  SolveSpec spec = distributed_spec();
+  spec.rtol = 0;
+  expect_invalid(spec, "rtol");
+
+  spec = distributed_spec();
+  spec.max_iterations = -1;
+  expect_invalid(spec, "max_iterations");
+
+  spec = distributed_spec();
+  spec.block_size = 0;
+  expect_invalid(spec, "block_size");
+
+  spec = distributed_spec();
+  spec.threads = -2;
+  expect_invalid(spec, "threads");
+
+  spec = distributed_spec();
+  spec.ssor_omega = 2.5;
+  expect_invalid(spec, "ssor_omega");
+}
+
+TEST(SolveSpecValidation, RejectsPhiNotBelowNodes) {
+  SolveSpec spec = distributed_spec();
+  spec.phi = 5; // > nodes = 4
+  expect_invalid(spec, "phi");
+  spec.phi = 4; // == nodes: no node can hold a copy of itself
+  expect_invalid(spec, "phi");
+  spec.phi = 0;
+  expect_invalid(spec, "phi");
+}
+
+TEST(SolveSpecValidation, RejectsMalformedFailureSchedules) {
+  // Duplicate iterations.
+  SolveSpec spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{10, {0}});
+  spec.failures.push_back(FailureEvent{10, {1}});
+  expect_invalid(spec, "distinct iterations");
+
+  // Under-specified event (no ranks).
+  spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{10, {}});
+  expect_invalid(spec, "not fully specified");
+
+  // Under-specified event (negative iteration).
+  spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{-1, {0}});
+  expect_invalid(spec, "not fully specified");
+
+  // Rank out of range.
+  spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{10, {7}});
+  expect_invalid(spec, "out of range");
+
+  // All ranks failing at once.
+  spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{10, {0, 1, 2, 3}});
+  expect_invalid(spec, "survivor");
+}
+
+TEST(SolveSpecValidation, DistributedSolversNeedExplicitActionPrecond) {
+  for (const char* solver : {"resilient-pcg", "dist-pipelined"}) {
+    for (const char* precond : {"ssor", "ic0"}) {
+      SCOPED_TRACE(std::string(solver) + " + " + precond);
+      SolveSpec spec = distributed_spec();
+      spec.solver = solver;
+      spec.precond = precond;
+      expect_invalid(spec, "no explicit node-local action matrix");
+    }
+  }
+  // The sequential solvers pair with every preconditioner.
+  SolveSpec spec;
+  spec.matrix = "poisson2d:8,8";
+  spec.solver = "pipelined";
+  spec.precond = "ssor";
+  EXPECT_NO_THROW(validate_spec(spec));
+}
+
+TEST(SolveSpecValidation, SequentialSolversCannotTakeFailures) {
+  SolveSpec spec;
+  spec.matrix = "poisson2d:8,8";
+  spec.solver = "pcg";
+  spec.precond = "jacobi";
+  spec.failures.push_back(FailureEvent{10, {0}});
+  expect_invalid(spec, "sequential");
+}
+
+TEST(SolveSpecValidation, DistPipelinedTakesAtMostOneFailure) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "dist-pipelined";
+  spec.failures.push_back(FailureEvent{10, {0}});
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.failures.push_back(FailureEvent{20, {1}});
+  expect_invalid(spec, "at most 1 failure event");
+}
+
+TEST(SolveSpecValidation, DistPipelinedRejectsEsrpStrategy) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "dist-pipelined";
+  spec.strategy = Strategy::esrp;
+  expect_invalid(spec, "none and imcr only");
+  spec.strategy = Strategy::imcr;
+  EXPECT_NO_THROW(validate_spec(spec));
+}
+
+TEST(SolveSpecValidation, DistPipelinedRejectsInitialGuess) {
+  const Vector x0(64, 0.5); // poisson2d:8,8 has 64 rows
+  SolveSpec spec = distributed_spec();
+  spec.solver = "dist-pipelined";
+  spec.x0 = x0;
+  expect_invalid(spec, "initial guess");
+  spec.solver = "resilient-pcg";
+  EXPECT_NO_THROW(validate_spec(spec));
+}
+
+TEST(SolveSpecValidation, UnknownKeysGetDidYouMean) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "resilient-pgc";
+  expect_invalid(spec, "did you mean \"resilient-pcg\"");
+
+  spec = distributed_spec();
+  spec.precond = "jacobbi";
+  expect_invalid(spec, "did you mean \"jacobi\"");
+
+  spec = distributed_spec();
+  spec.matrix = "poisssson2d:8,8";
+  expect_invalid(spec, "did you mean \"poisson2d\"");
+}
+
+TEST(SolveSpecValidation, SolveRejectsMismatchedVectors) {
+  const Vector short_rhs(7, 1.0);
+  SolveSpec spec;
+  spec.matrix = "poisson2d:4,4"; // 16 rows
+  spec.solver = "pcg";
+  spec.precond = "identity";
+  spec.rhs = short_rhs;
+  EXPECT_THROW(solve(spec), Error);
+
+  spec.rhs = {};
+  spec.x0 = short_rhs;
+  EXPECT_THROW(solve(spec), Error);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,71 @@
+// Round-trip parsers for the two solver enums: strategy_from_string /
+// formulation_from_string must invert to_string exhaustively and reject
+// unknown spellings with an error naming the valid ones (the CLI used to
+// open-code this parsing).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+#include "core/reconstruction.hpp"
+#include "core/resilient_pcg.hpp"
+
+namespace esrp {
+namespace {
+
+TEST(StrategyRoundTrip, Exhaustive) {
+  for (const Strategy s : {Strategy::none, Strategy::esrp, Strategy::imcr}) {
+    EXPECT_EQ(strategy_from_string(to_string(s)), s) << to_string(s);
+  }
+}
+
+TEST(StrategyRoundTrip, CanonicalSpellings) {
+  EXPECT_EQ(strategy_from_string("none"), Strategy::none);
+  EXPECT_EQ(strategy_from_string("esrp"), Strategy::esrp);
+  EXPECT_EQ(strategy_from_string("imcr"), Strategy::imcr);
+}
+
+TEST(StrategyRoundTrip, RejectsUnknownNamesListingValid) {
+  for (const char* bad : {"", "ESRP", "esr", "imrc", "checkpoint"}) {
+    SCOPED_TRACE(bad);
+    try {
+      (void)strategy_from_string(bad);
+      FAIL() << "must throw";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unknown strategy"), std::string::npos) << msg;
+      EXPECT_NE(msg.find("none, esrp, imcr"), std::string::npos) << msg;
+    }
+  }
+}
+
+TEST(FormulationRoundTrip, Exhaustive) {
+  for (const PrecondFormulation f :
+       {PrecondFormulation::inverse, PrecondFormulation::matrix}) {
+    EXPECT_EQ(formulation_from_string(to_string(f)), f) << to_string(f);
+  }
+}
+
+TEST(FormulationRoundTrip, CanonicalSpellings) {
+  EXPECT_EQ(formulation_from_string("inverse"), PrecondFormulation::inverse);
+  EXPECT_EQ(formulation_from_string("matrix"), PrecondFormulation::matrix);
+}
+
+TEST(FormulationRoundTrip, RejectsUnknownNamesListingValid) {
+  for (const char* bad : {"", "Inverse", "matrx", "action"}) {
+    SCOPED_TRACE(bad);
+    try {
+      (void)formulation_from_string(bad);
+      FAIL() << "must throw";
+    } catch (const Error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unknown preconditioner formulation"),
+                std::string::npos)
+          << msg;
+      EXPECT_NE(msg.find("inverse, matrix"), std::string::npos) << msg;
+    }
+  }
+}
+
+} // namespace
+} // namespace esrp

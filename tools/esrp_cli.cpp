@@ -1,15 +1,18 @@
-// esrp_cli — run one resilient PCG experiment from the command line.
+// esrp_cli — run one solve through the esrp::solve(SolveSpec) facade.
 //
 // Examples:
 //   esrp_cli --matrix emilia --nodes 128 --strategy esrp --interval 20 --phi 3 --fail-at auto --fail-ranks 64:3
 //   esrp_cli --matrix poisson3d:24,24,24 --strategy imcr --interval 50 --phi 1 --fail-at 100 --fail-ranks 0:1
 //   esrp_cli --matrix mm:/path/to/matrix.mtx --strategy none
+//   esrp_cli --solver pipelined --precond ssor --matrix poisson2d:64,64
+//   esrp_cli --list
 //
-// Matrices: emilia | audikw | poisson2d:NX,NY | poisson3d:NX,NY,NZ |
-//           mm:<path to Matrix Market file>
-// `--fail-at auto` places the failure with the paper's worst-case rule
-// (two iterations before the end of the interval containing C/2, which
-// requires one extra reference solve).
+// Solvers, preconditioners and matrix generators come from the string-keyed
+// registries behind the facade (src/api/registry.hpp) — `--list` prints
+// them, and an unknown key answers with a "did you mean" hint. `--fail-at
+// auto` places the failure with the paper's worst-case rule (two iterations
+// before the end of the interval containing C/2, which requires one extra
+// reference solve).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -17,12 +20,9 @@
 #include <string>
 #include <vector>
 
-#include "core/metrics.hpp"
-#include "core/resilient_pcg.hpp"
+#include "api/registry.hpp"
+#include "api/solve.hpp"
 #include "parallel/parallel.hpp"
-#include "precond/block_jacobi.hpp"
-#include "sparse/generators.hpp"
-#include "sparse/matrix_market.hpp"
 #include "xp/experiment.hpp"
 
 namespace {
@@ -40,9 +40,18 @@ struct OptionSpec {
 constexpr OptionSpec kOptions[] = {
     {"--matrix", "M",
      "emilia | audikw | poisson2d:NX,NY |\n"
-     "                    poisson3d:NX,NY,NZ | mm:<file.mtx>"},
+     "                    poisson3d:NX,NY,NZ | laplace1d:N | mm:<file.mtx>\n"
+     "                    (see --list)"},
+    {"--solver", "S",
+     "pcg | pipelined | resilient-pcg | dist-pipelined\n"
+     "                    (default resilient-pcg; see --list)"},
+    {"--precond", "P",
+     "identity | jacobi | block-jacobi | ssor | ic0\n"
+     "                    (default block-jacobi; see --list)"},
     {"--nodes", "N", "simulated cluster size (default 128)"},
-    {"--strategy", "S", "none | esrp | imcr  (default esrp)"},
+    {"--strategy", "S",
+     "none | esrp | imcr  (default esrp for\n"
+     "                    resilient-pcg, none otherwise)"},
     {"--interval", "T", "checkpoint interval (default 20; 1=ESR)"},
     {"--phi", "P", "redundant copies (default 1)"},
     {"--rtol", "X", "convergence tolerance (default 1e-8)"},
@@ -54,6 +63,8 @@ constexpr OptionSpec kOptions[] = {
      "kernel threads (default $ESRP_NUM_THREADS or 1;\n"
      "                    0 = all hardware threads)"},
     {"--no-spares", nullptr, "recover onto survivors (ESRP only)"},
+    {"--list", nullptr, "print the registered solvers, preconditioners,\n"
+                        "                    and matrix generators, then exit"},
     {"--quiet", nullptr, "machine-readable one-line output"},
 };
 
@@ -76,40 +87,18 @@ bool takes_value(const std::string& key) {
   return false;
 }
 
-std::vector<index_t> parse_dims(const std::string& spec, std::size_t count) {
-  std::vector<index_t> dims;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string tok = spec.substr(
-        pos, comma == std::string::npos ? std::string::npos : comma - pos);
-    if (tok.empty()) usage("bad dimension list");
-    dims.push_back(std::atol(tok.c_str()));
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  if (dims.size() != count) usage("wrong number of dimensions");
-  return dims;
+template <typename Registry>
+void print_registry(const Registry& reg, const char* heading) {
+  std::printf("%s:\n", heading);
+  for (const std::string& key : reg.keys())
+    std::printf("  %-15s %s\n", key.c_str(), reg.help(key).c_str());
 }
 
-TestProblem load_matrix(const std::string& spec) {
-  if (spec == "emilia") return emilia_like_default();
-  if (spec == "audikw") return audikw_like_default();
-  if (spec.rfind("poisson2d:", 0) == 0) {
-    const auto d = parse_dims(spec.substr(10), 2);
-    return TestProblem{"poisson2d", "2D Poisson 5-pt",
-                       poisson2d(d[0], d[1])};
-  }
-  if (spec.rfind("poisson3d:", 0) == 0) {
-    const auto d = parse_dims(spec.substr(10), 3);
-    return TestProblem{"poisson3d", "3D Poisson 7-pt",
-                       poisson3d(d[0], d[1], d[2])};
-  }
-  if (spec.rfind("mm:", 0) == 0) {
-    return TestProblem{spec.substr(3), "Matrix Market",
-                       read_matrix_market_file(spec.substr(3))};
-  }
-  usage("unknown matrix spec");
+[[noreturn]] void list_registries() {
+  print_registry(solver_registry(), "solvers");
+  print_registry(precond_registry(), "preconditioners");
+  print_registry(matrix_registry(), "matrices");
+  std::exit(0);
 }
 
 } // namespace
@@ -123,6 +112,8 @@ int main(int argc, char** argv) {
       no_spares = true;
     } else if (key == "--quiet") {
       quiet = true;
+    } else if (key == "--list") {
+      list_registries();
     } else if (key == "--help" || key == "-h") {
       usage(nullptr, 0);
     } else if (takes_value(key) && i + 1 < argc) {
@@ -141,55 +132,95 @@ int main(int argc, char** argv) {
     return it == args.end() ? std::string(fallback) : it->second;
   };
 
-  // Validated outside the try block: a bad --threads is a usage error
-  // (exit 2), not a runtime failure. atoi would fold typos to 0, which is
-  // the meaningful "all hardware threads" value here.
+  SolveSpec spec;
+  spec.matrix = get("--matrix", "emilia");
+  spec.solver = get("--solver", "resilient-pcg");
+  spec.precond = get("--precond", "block-jacobi");
+
+  // Key typos, bad enum spellings and a bad --threads are usage errors
+  // (exit 2, with the registry's "did you mean" hint), not runtime
+  // failures. Validate them before any expensive work.
+  try {
+    check_matrix_key(spec.matrix);
+    const SolverEntry& entry = solver_registry().get(spec.solver);
+    (void)precond_registry().get(spec.precond);
+    // The default strategy follows the chosen solver's capabilities:
+    // esrp where it is implemented, none elsewhere (sequential solvers
+    // ignore the strategy entirely).
+    spec.strategy = strategy_from_string(get(
+        "--strategy",
+        entry.distributed && entry.supports_esrp ? "esrp" : "none"));
+    spec.formulation =
+        formulation_from_string(get("--formulation", "inverse"));
+  } catch (const Error& e) {
+    usage(e.what());
+  }
+
   if (args.count("--threads")) {
     const std::string& v = args.at("--threads");
     char* end = nullptr;
     const long n = std::strtol(v.c_str(), &end, 10);
     if (v.empty() || end == nullptr || *end != '\0' || n < 0)
       usage("--threads must be a non-negative integer (0 = hardware)");
+    spec.threads = static_cast<int>(n);
+    // Also apply globally (as the pre-facade CLI did): the --fail-at auto
+    // reference solve runs outside esrp::solve's per-solve override, and
+    // its trajectory — which places the failure — is only comparable to
+    // the main solve's at the same thread count.
     set_num_threads(static_cast<int>(n));
   }
 
+  spec.nodes = static_cast<rank_t>(std::atoi(get("--nodes", "128").c_str()));
+  spec.interval = std::atol(get("--interval", "20").c_str());
+  spec.phi = std::atoi(get("--phi", "1").c_str());
+  spec.rtol = std::atof(get("--rtol", "1e-8").c_str());
+  spec.block_size = std::atol(get("--block-size", "10").c_str());
+  spec.spare_nodes = !no_spares;
+
+  // Generator-built matrices resolve at flag time, so malformed dimension
+  // arguments stay usage errors (exit 2) like unknown keys. Matrix Market
+  // files stay deferred to the solve: an unreadable file is a runtime
+  // failure (exit 1), not a usage mistake.
+  TestProblem prob;
+  if (spec.matrix != "mm" && spec.matrix.rfind("mm:", 0) != 0) {
+    try {
+      prob = resolve_matrix(spec.matrix);
+    } catch (const Error& e) {
+      usage(e.what());
+    }
+    spec.matrix_data = &prob.matrix;
+    spec.matrix_name = prob.name;
+  }
+
   try {
-    const TestProblem prob = load_matrix(get("--matrix", "emilia"));
-    const CsrMatrix& a = prob.matrix;
-    const Vector b = xp::make_rhs(a);
-    const auto nodes = static_cast<rank_t>(std::atoi(get("--nodes", "128").c_str()));
-    const std::string strategy = get("--strategy", "esrp");
-    const index_t interval = std::atol(get("--interval", "20").c_str());
-    const int phi = std::atoi(get("--phi", "1").c_str());
-
-    const BlockRowPartition part(a.rows(), nodes);
-    SimCluster cluster(part, xp::calibrated_cost(a, nodes));
-    const BlockJacobiPreconditioner precond(
-        a, part, std::atol(get("--block-size", "10").c_str()));
-
-    ResilienceOptions opts;
-    if (strategy == "none") opts.strategy = Strategy::none;
-    else if (strategy == "esrp") opts.strategy = Strategy::esrp;
-    else if (strategy == "imcr") opts.strategy = Strategy::imcr;
-    else usage("unknown strategy");
-    opts.interval = interval;
-    opts.phi = phi;
-    opts.rtol = std::atof(get("--rtol", "1e-8").c_str());
-    opts.spare_nodes = !no_spares;
-    const std::string form = get("--formulation", "inverse");
-    if (form == "matrix") opts.precond_formulation = PrecondFormulation::matrix;
-    else if (form != "inverse") usage("unknown formulation");
-
     double t0 = -1;
     const std::string fail_at = get("--fail-at", "");
     if (fail_at.empty() && args.count("--fail-ranks"))
       usage("--fail-ranks requires --fail-at");
+    if (!fail_at.empty() && !solver_registry().get(spec.solver).distributed)
+      usage(("--fail-at needs a distributed solver; " + spec.solver +
+             " is sequential")
+                .c_str());
     if (!fail_at.empty()) {
       index_t iteration;
       if (fail_at == "auto") {
-        const xp::Reference ref = xp::run_reference(a, b, nodes, opts.rtol);
-        iteration = xp::worst_case_failure_iteration(ref.iterations, interval);
-        t0 = ref.t0_modeled;
+        if (spec.matrix_data == nullptr) { // mm: path — build and reuse
+          prob = resolve_matrix(spec.matrix);
+          spec.matrix_data = &prob.matrix;
+          spec.matrix_name = prob.name;
+        }
+        // The reference run is the failure-free, non-resilient solve of
+        // the *same* spec (solver, preconditioner, block size, threads),
+        // so C and t0 describe the trajectory the failure actually lands
+        // on — not a fixed block-Jacobi baseline.
+        SolveSpec ref_spec = spec;
+        ref_spec.strategy = Strategy::none;
+        ref_spec.failures.clear();
+        const SolveReport ref = esrp::solve(ref_spec);
+        if (!ref.converged) usage("--fail-at auto: reference run did not converge");
+        iteration =
+            xp::worst_case_failure_iteration(ref.iterations, spec.interval);
+        t0 = ref.modeled_time;
         if (!quiet)
           std::printf("reference: C = %lld, t0 = %.3f s; failing at %lld\n",
                       static_cast<long long>(ref.iterations), t0,
@@ -198,58 +229,75 @@ int main(int argc, char** argv) {
         iteration = std::atol(fail_at.c_str());
       }
       const std::string ranks = get("--fail-ranks",
-                                    ("0:" + std::to_string(phi)).c_str());
+                                    ("0:" + std::to_string(spec.phi)).c_str());
       const std::size_t colon = ranks.find(':');
       if (colon == std::string::npos) usage("--fail-ranks needs start:count");
-      opts.failure.iteration = iteration;
-      opts.failure.ranks = contiguous_ranks(
-          static_cast<rank_t>(std::atoi(ranks.substr(0, colon).c_str())),
-          static_cast<rank_t>(std::atoi(ranks.substr(colon + 1).c_str())),
-          nodes);
+      spec.failures.push_back(FailureEvent{
+          iteration,
+          contiguous_ranks(
+              static_cast<rank_t>(std::atoi(ranks.substr(0, colon).c_str())),
+              static_cast<rank_t>(std::atoi(ranks.substr(colon + 1).c_str())),
+              spec.nodes)});
     }
 
-    ResilientPcg solver(a, precond, cluster, opts);
-    const ResilientSolveResult res = solver.solve(b);
-    const real_t drift = residual_drift(a, b, res.x, res.r);
+    const SolveReport res = esrp::solve(spec);
+    const bool distributed = res.nodes > 0;
 
     if (quiet) {
-      std::printf("converged=%d iterations=%lld executed=%lld "
-                  "modeled_time=%.6f recoveries=%zu drift=%.3e\n",
-                  res.converged ? 1 : 0,
-                  static_cast<long long>(res.trajectory_iterations),
-                  static_cast<long long>(res.executed_iterations),
-                  res.modeled_time, res.recoveries.size(), drift);
+      if (distributed) {
+        std::printf("converged=%d iterations=%lld executed=%lld "
+                    "modeled_time=%.6f recoveries=%zu drift=%.3e\n",
+                    res.converged ? 1 : 0,
+                    static_cast<long long>(res.iterations),
+                    static_cast<long long>(res.executed_iterations),
+                    res.modeled_time, res.recoveries.size(), res.drift);
+      } else {
+        std::printf("converged=%d iterations=%lld relres=%.3e flops=%.3e\n",
+                    res.converged ? 1 : 0,
+                    static_cast<long long>(res.iterations), res.final_relres,
+                    res.flops);
+      }
       return res.converged ? 0 : 1;
     }
 
     std::printf("matrix:        %s (%lld rows, %lld nnz)\n",
-                prob.name.c_str(), static_cast<long long>(a.rows()),
-                static_cast<long long>(a.nnz()));
-    std::printf("strategy:      %s, T = %lld, phi = %d%s\n",
-                to_string(opts.strategy).c_str(),
-                static_cast<long long>(interval), phi,
-                no_spares ? ", no spares" : "");
-    if (num_threads() > 1)
-      std::printf("threads:       %d\n", num_threads());
+                res.matrix.c_str(), static_cast<long long>(res.rows),
+                static_cast<long long>(res.nnz));
+    std::printf("solver:        %s, preconditioner %s\n", res.solver.c_str(),
+                res.precond.c_str());
+    if (distributed)
+      std::printf("strategy:      %s, T = %lld, phi = %d%s\n",
+                  to_string(spec.strategy).c_str(),
+                  static_cast<long long>(spec.interval), spec.phi,
+                  no_spares ? ", no spares" : "");
+    const int threads = spec.threads >= 0 ? spec.threads : num_threads();
+    if (threads != 1)
+      std::printf("threads:       %d%s\n", threads,
+                  threads == 0 ? " (all hardware)" : "");
     std::printf("converged:     %s after %lld iterations (%lld executed)\n",
                 res.converged ? "yes" : "no",
-                static_cast<long long>(res.trajectory_iterations),
+                static_cast<long long>(res.iterations),
                 static_cast<long long>(res.executed_iterations));
-    std::printf("modeled time:  %.3f s on %d nodes\n", res.modeled_time,
-                static_cast<int>(nodes));
-    if (t0 > 0)
-      std::printf("overhead:      %.1f%% over the reference\n",
-                  100 * (res.modeled_time - t0) / t0);
-    for (const RecoveryRecord& rec : res.recoveries) {
-      std::printf("recovery:      failed at %lld, resumed from %lld "
-                  "(%lld redone)%s, %.4f s modeled\n",
-                  static_cast<long long>(rec.failed_at),
-                  static_cast<long long>(rec.restored_to),
-                  static_cast<long long>(rec.wasted_iterations),
-                  rec.restarted_from_scratch ? " [scratch restart]" : "",
-                  rec.modeled_time);
+    if (distributed) {
+      std::printf("modeled time:  %.3f s on %d nodes\n", res.modeled_time,
+                  static_cast<int>(res.nodes));
+      if (t0 > 0)
+        std::printf("overhead:      %.1f%% over the reference\n",
+                    100 * (res.modeled_time - t0) / t0);
+      for (const RecoveryRecord& rec : res.recoveries) {
+        std::printf("recovery:      failed at %lld, resumed from %lld "
+                    "(%lld redone)%s, %.4f s modeled\n",
+                    static_cast<long long>(rec.failed_at),
+                    static_cast<long long>(rec.restored_to),
+                    static_cast<long long>(rec.wasted_iterations),
+                    rec.restarted_from_scratch ? " [scratch restart]" : "",
+                    rec.modeled_time);
+      }
+      std::printf("residual drift: %+.3e\n", res.drift);
+    } else {
+      std::printf("final relres:  %.3e after %.3e flops\n", res.final_relres,
+                  res.flops);
     }
-    std::printf("residual drift: %+.3e\n", drift);
     return res.converged ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "esrp_cli: %s\n", e.what());

@@ -90,7 +90,15 @@ status=0
 for b in "${targets[@]}"; do
   echo "=== $b"
   if (cd "$build_dir" && "./$b") >"$out_dir/$b.log" 2>&1; then
-    echo "PASS $b" >> "$out_dir/SUMMARY"
+    # google-benchmark exits 0 even when a benchmark calls SkipWithError
+    # (e.g. BM_FacadeOverheadAssert's <1% facade-dispatch bound), so also
+    # treat its "ERROR OCCURRED" marker as a failure.
+    if grep -q "ERROR OCCURRED" "$out_dir/$b.log"; then
+      echo "FAIL $b (benchmark-internal assertion — see log)" | tee -a "$out_dir/SUMMARY"
+      status=1
+    else
+      echo "PASS $b" >> "$out_dir/SUMMARY"
+    fi
   else
     rc=$?
     echo "FAIL $b (exit $rc)" | tee -a "$out_dir/SUMMARY"
