@@ -2,8 +2,10 @@
 // simulator's wall-clock cost: sequential SpMV, the distributed SpMV and
 // ASpMV exchanges, the block Jacobi apply, a full resilient PCG iteration,
 // checkpoint storage, one Alg. 2 state reconstruction, the thread scaling
-// of the parallel SpMV / BLAS-1 kernels (1/2/4/8 threads), and the
-// esrp::solve facade's end-to-end dispatch overhead vs. the direct call.
+// of the parallel SpMV / BLAS-1 kernels (1/2/4/8 threads), the fused
+// iteration kernels vs. their separate-kernel baselines (with a SUMMARY
+// assertion that fusion is not slower at large n), and the esrp::solve
+// facade's end-to-end dispatch overhead vs. the direct call.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -12,6 +14,7 @@
 #include "api/registry.hpp"
 #include "api/solve.hpp"
 #include "comm/exchange.hpp"
+#include "common/fused.hpp"
 #include "common/timer.hpp"
 #include "core/checkpoint_store.hpp"
 #include "core/reconstruction.hpp"
@@ -276,6 +279,138 @@ BENCHMARK(BM_FacadeOverheadAssert)->Iterations(1)
 // >= 1M-nnz generator matrix, on hardware with >= 4 cores). Each variant
 // pins the global thread count for its run and restores serial at the end,
 // so the argument doubles as the reported x-axis.
+
+// --- Kernel fusion (perf_opt acceptance: the fused multi-dot and the
+// fused spmv+dot must not lose to their separate-kernel baselines at large
+// n — they touch the same bytes in fewer sweeps). The paired benches report
+// both sides for the perf trajectory; BM_FusedKernelAssert turns the
+// comparison into a SUMMARY failure via the same SkipWithError channel as
+// BM_FacadeOverheadAssert.
+
+/// 4M-element operands: each dot streams 64 MB, far beyond LLC, so the
+/// sweep count — not arithmetic — sets the runtime.
+constexpr std::size_t kFusedDotLen = std::size_t{1} << 22;
+
+const Vector& fused_bench_vector(int which) {
+  static const Vector v[3] = {Vector(kFusedDotLen, 0.5),
+                              Vector(kFusedDotLen, -0.25),
+                              Vector(kFusedDotLen, 1.25)};
+  return v[which];
+}
+
+void BM_Dot3Separate(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector& r = fused_bench_vector(0);
+  const Vector& u = fused_bench_vector(1);
+  const Vector& w = fused_bench_vector(2);
+  real_t sink = 0;
+  for (auto _ : state) {
+    sink += vec_dot(r, u) + vec_dot(w, u) + vec_dot(r, r);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * kFusedDotLen));
+  set_num_threads(1);
+}
+BENCHMARK(BM_Dot3Separate)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_Dot3Fused(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector& r = fused_bench_vector(0);
+  const Vector& u = fused_bench_vector(1);
+  const Vector& w = fused_bench_vector(2);
+  real_t sink = 0;
+  for (auto _ : state) {
+    const auto [gamma, delta, rr] = vec_dot3(r, u, w, u, r, r);
+    sink += gamma + delta + rr;
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(3 * kFusedDotLen));
+  set_num_threads(1);
+}
+BENCHMARK(BM_Dot3Fused)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_SpmvThenDot(benchmark::State& state) {
+  const CsrMatrix& a = scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector p = xp::make_rhs(a);
+  Vector y(p.size());
+  real_t sink = 0;
+  for (auto _ : state) {
+    a.spmv(p, y);
+    sink += vec_dot(p, y);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  set_num_threads(1);
+}
+BENCHMARK(BM_SpmvThenDot)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_SpmvDotFused(benchmark::State& state) {
+  const CsrMatrix& a = scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector p = xp::make_rhs(a);
+  Vector y(p.size());
+  real_t sink = 0;
+  for (auto _ : state) {
+    sink += a.spmv_dot(p, y);
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  set_num_threads(1);
+}
+BENCHMARK(BM_SpmvDotFused)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_FusedKernelAssert(benchmark::State& state) {
+  // Best-of-5 wall time for each side, compared with a noise margin: on a
+  // quiet machine the fused multi-dot approaches a 3x sweep reduction, so
+  // "not slower than 1.15x the separate sequence" fails only on a real
+  // regression (e.g. a chunking change that serializes the fused path).
+  const CsrMatrix& a = scaling_matrix();
+  const Vector& r = fused_bench_vector(0);
+  const Vector& u = fused_bench_vector(1);
+  const Vector& w = fused_bench_vector(2);
+  const Vector p = xp::make_rhs(a);
+  Vector y(p.size());
+
+  auto best_of = [](int reps, auto&& fn) {
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      WallTimer t;
+      fn();
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+
+  real_t sink = 0;
+  double dot_sep = 0, dot_fused = 0, spmv_sep = 0, spmv_fused = 0;
+  for (auto _ : state) {
+    dot_sep = best_of(5, [&] {
+      sink += vec_dot(r, u) + vec_dot(w, u) + vec_dot(r, r);
+    });
+    dot_fused = best_of(5, [&] {
+      const auto [g, d, n2] = vec_dot3(r, u, w, u, r, r);
+      sink += g + d + n2;
+    });
+    spmv_sep = best_of(5, [&] {
+      a.spmv(p, y);
+      sink += vec_dot(p, y);
+    });
+    spmv_fused = best_of(5, [&] { sink += a.spmv_dot(p, y); });
+    benchmark::DoNotOptimize(sink);
+  }
+
+  char label[128];
+  std::snprintf(label, sizeof label,
+                "dot3 fused/sep %.2f, spmv_dot fused/sep %.2f",
+                dot_fused / dot_sep, spmv_fused / spmv_sep);
+  state.SetLabel(label);
+  if (dot_fused > 1.15 * dot_sep || spmv_fused > 1.15 * spmv_sep)
+    state.SkipWithError(label);
+}
+BENCHMARK(BM_FusedKernelAssert)->Iterations(1)->Unit(benchmark::kMillisecond);
 
 void BM_SpmvThreadScaling(benchmark::State& state) {
   const CsrMatrix& a = scaling_matrix();

@@ -1,0 +1,120 @@
+#include "common/fused.hpp"
+
+#include "common/error.hpp"
+#include "parallel/parallel.hpp"
+
+namespace esrp {
+
+// Multi-dot reductions mirror vec_dot exactly: fixed kReduceGrain chunks,
+// one serial left-to-right accumulator per component within a chunk, and
+// partials combined componentwise in index order. Each component therefore
+// sees the same additions in the same order as its separate vec_dot — only
+// the number of sweeps over memory changes.
+
+std::pair<real_t, real_t> vec_dot2(std::span<const real_t> x1,
+                                   std::span<const real_t> y1,
+                                   std::span<const real_t> x2,
+                                   std::span<const real_t> y2) {
+  ESRP_CHECK(x1.size() == y1.size() && x2.size() == y2.size() &&
+             x1.size() == x2.size());
+  using Pair = std::pair<real_t, real_t>;
+  return parallel_reduce(
+      index_t{0}, static_cast<index_t>(x1.size()), kReduceGrain, Pair{0, 0},
+      [&](index_t lo, index_t hi) {
+        Pair acc{0, 0};
+        for (index_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          acc.first += x1[k] * y1[k];
+          acc.second += x2[k] * y2[k];
+        }
+        return acc;
+      },
+      [](Pair a, Pair b) {
+        return Pair{a.first + b.first, a.second + b.second};
+      });
+}
+
+std::array<real_t, 3> vec_dot3(std::span<const real_t> x1,
+                               std::span<const real_t> y1,
+                               std::span<const real_t> x2,
+                               std::span<const real_t> y2,
+                               std::span<const real_t> x3,
+                               std::span<const real_t> y3) {
+  ESRP_CHECK(x1.size() == y1.size() && x2.size() == y2.size() &&
+             x3.size() == y3.size());
+  ESRP_CHECK(x1.size() == x2.size() && x2.size() == x3.size());
+  using Triple = std::array<real_t, 3>;
+  return parallel_reduce(
+      index_t{0}, static_cast<index_t>(x1.size()), kReduceGrain,
+      Triple{0, 0, 0},
+      [&](index_t lo, index_t hi) {
+        Triple acc{0, 0, 0};
+        for (index_t i = lo; i < hi; ++i) {
+          const auto k = static_cast<std::size_t>(i);
+          acc[0] += x1[k] * y1[k];
+          acc[1] += x2[k] * y2[k];
+          acc[2] += x3[k] * y3[k];
+        }
+        return acc;
+      },
+      [](Triple a, Triple b) {
+        return Triple{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+      });
+}
+
+void vec_sub(std::span<const real_t> x, std::span<const real_t> y,
+             std::span<real_t> z) {
+  ESRP_CHECK(x.size() == y.size() && y.size() == z.size());
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   z[k] = x[k] - y[k];
+                 }
+               });
+}
+
+void fused_axpy2(std::span<real_t> y1, real_t a1, std::span<const real_t> x1,
+                 std::span<real_t> y2, real_t a2, std::span<const real_t> x2) {
+  ESRP_CHECK(y1.size() == x1.size() && y2.size() == x2.size() &&
+             y1.size() == y2.size());
+  parallel_for(index_t{0}, static_cast<index_t>(y1.size()),
+               elementwise_grain(static_cast<index_t>(y1.size())),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   y1[k] += a1 * x1[k];
+                   y2[k] += a2 * x2[k];
+                 }
+               });
+}
+
+void fused_pipelined_update(std::span<real_t> z, std::span<const real_t> nv,
+                            std::span<real_t> q, std::span<const real_t> m,
+                            std::span<real_t> s, std::span<real_t> w,
+                            std::span<real_t> p, std::span<real_t> u,
+                            std::span<real_t> x, std::span<real_t> r,
+                            real_t alpha, real_t beta) {
+  const std::size_t n = z.size();
+  ESRP_CHECK(nv.size() == n && q.size() == n && m.size() == n &&
+             s.size() == n && w.size() == n && p.size() == n &&
+             u.size() == n && x.size() == n && r.size() == n);
+  parallel_for(index_t{0}, static_cast<index_t>(n),
+               elementwise_grain(static_cast<index_t>(n)),
+               [&](index_t lo, index_t hi) {
+                 for (index_t i = lo; i < hi; ++i) {
+                   const auto k = static_cast<std::size_t>(i);
+                   z[k] = nv[k] + beta * z[k];
+                   q[k] = m[k] + beta * q[k];
+                   s[k] = w[k] + beta * s[k];
+                   p[k] = u[k] + beta * p[k];
+                   x[k] += alpha * p[k];
+                   r[k] -= alpha * s[k];
+                   u[k] -= alpha * q[k];
+                   w[k] -= alpha * z[k];
+                 }
+               });
+}
+
+} // namespace esrp

@@ -12,10 +12,20 @@ namespace esrp {
 
 void vec_copy(std::span<const real_t> x, std::span<real_t> y) {
   ESRP_CHECK(x.size() == y.size());
-  std::copy(x.begin(), x.end(), y.begin());
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 std::copy(x.begin() + lo, x.begin() + hi, y.begin() + lo);
+               });
 }
 
-void vec_zero(std::span<real_t> x) { std::fill(x.begin(), x.end(), real_t{0}); }
+void vec_zero(std::span<real_t> x) {
+  parallel_for(index_t{0}, static_cast<index_t>(x.size()),
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 std::fill(x.begin() + lo, x.begin() + hi, real_t{0});
+               });
+}
 
 void vec_scale(std::span<real_t> x, real_t alpha) {
   parallel_for(index_t{0}, static_cast<index_t>(x.size()),

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fused.hpp"
 #include "common/timer.hpp"
 #include "core/reconstruction.hpp"
 #include "parallel/parallel.hpp"
@@ -224,16 +225,18 @@ std::pair<real_t, real_t> ResilientPcg::dot2(const DistVector& a,
   return total;
 }
 
-void ResilientPcg::axpy(DistVector& y, real_t alpha, const DistVector& x) {
+void ResilientPcg::axpy2(DistVector& y1, real_t a1, const DistVector& x1,
+                         DistVector& y2, real_t a2, const DistVector& x2) {
   const BlockRowPartition& part = cluster_->partition();
   const auto nodes = static_cast<index_t>(part.num_nodes());
   parallel_for(index_t{0}, nodes, node_grain(part.num_nodes()),
                [&](index_t lo, index_t hi) {
                  for (index_t i = lo; i < hi; ++i) {
                    const auto s = static_cast<rank_t>(i);
-                   vec_axpy(y.local(s), alpha, x.local(s));
+                   fused_axpy2(y1.local(s), a1, x1.local(s), y2.local(s), a2,
+                               x2.local(s));
                    cluster_->add_compute(
-                       s, 2.0 * static_cast<double>(part.local_size(s)));
+                       s, 4.0 * static_cast<double>(part.local_size(s)));
                  }
                });
 }
@@ -284,10 +287,7 @@ void ResilientPcg::initialize_state(std::span<const real_t> b,
                  [&](index_t lo, index_t hi) {
                    for (index_t i = lo; i < hi; ++i) {
                      const auto s = static_cast<rank_t>(i);
-                     auto rs = r_->local(s);
-                     const auto bs = b_dist.local(s);
-                     for (std::size_t k = 0; k < rs.size(); ++k)
-                       rs[k] = bs[k] - rs[k];
+                     vec_sub(b_dist.local(s), r_->local(s), r_->local(s));
                      cluster_->add_compute(
                          s, static_cast<double>(part.local_size(s)));
                    }
@@ -449,8 +449,10 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
   ESRP_CHECK_MSG(bnorm > 0, "right-hand side must be non-zero");
 
   initialize_state(b, x0);
-  real_t rz = dot(*r_, *z_);
-  real_t rnorm = std::sqrt(dot(*r_, *r_));
+  // <r,z> and ||r||^2 merged into one sweep + one allreduce (the unfused
+  // pair posted two single-scalar allreduces).
+  auto [rz, rr0] = dot2(*r_, *z_, *r_, *r_);
+  real_t rnorm = std::sqrt(rr0);
 
   index_t j = 0;
   index_t executed = 0;
@@ -527,8 +529,9 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
         j = inject_and_recover(events_[pending], j, b, x0, record);
         if (on_recovery_) on_recovery_(record);
         result.recoveries.push_back(record);
-        rz = dot(*r_, *z_);
-        rnorm = std::sqrt(dot(*r_, *r_));
+        const auto [rz_rec, rr_rec] = dot2(*r_, *z_, *r_, *r_);
+        rz = rz_rec;
+        rnorm = std::sqrt(rr_rec);
         ++executed;
         continue;
       }
@@ -538,8 +541,7 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
     const real_t pap = dot(*p_, *ap_);
     ESRP_CHECK_MSG(pap > 0, "p^T A p <= 0 at iteration " << j);
     const real_t alpha = rz / pap;
-    axpy(*x_, alpha, *p_);
-    axpy(*r_, -alpha, *ap_);
+    axpy2(*x_, alpha, *p_, *r_, -alpha, *ap_);
     apply_precond(*r_, *z_);
     const auto [rz_next, rr] = dot2(*r_, *z_, *r_, *r_);
     beta_ = rz_next / rz;
@@ -562,10 +564,9 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
                      for (index_t i = lo; i < hi; ++i) {
                        const auto sr = static_cast<rank_t>(i);
                        auto rs = r_->local(sr);
-                       const auto axs = ap_->local(sr);
-                       const auto off = static_cast<std::size_t>(cp.begin(sr));
-                       for (std::size_t k = 0; k < rs.size(); ++k)
-                         rs[k] = b[off + k] - axs[k];
+                       vec_sub(b.subspan(static_cast<std::size_t>(cp.begin(sr)),
+                                         rs.size()),
+                               ap_->local(sr), rs);
                        cluster_->add_compute(
                            sr, static_cast<double>(cp.local_size(sr)));
                      }

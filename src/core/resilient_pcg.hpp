@@ -169,7 +169,10 @@ private:
   real_t dot(const DistVector& a, const DistVector& b);
   std::pair<real_t, real_t> dot2(const DistVector& a, const DistVector& b,
                                  const DistVector& c, const DistVector& d);
-  void axpy(DistVector& y, real_t alpha, const DistVector& x);
+  /// Fused pair y1 += a1 x1; y2 += a2 x2 — one sweep over every node's
+  /// slices instead of two (the x/r update of the CG body).
+  void axpy2(DistVector& y1, real_t a1, const DistVector& x1, DistVector& y2,
+             real_t a2, const DistVector& x2);
   void xpby(DistVector& y, const DistVector& x, real_t beta);
   void apply_precond(const DistVector& r, DistVector& z);
 

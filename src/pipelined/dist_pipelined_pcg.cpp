@@ -7,6 +7,8 @@
 #include "comm/exchange.hpp"
 #include "comm/spmv_plan.hpp"
 #include "common/error.hpp"
+#include "common/fused.hpp"
+#include "parallel/parallel.hpp"
 
 namespace esrp {
 
@@ -115,32 +117,82 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
     const IndexSet range = index_range(part.begin(s), part.end(s));
     p_local.push_back(precond_->action_matrix()->extract(range, range));
   }
+  // Per-node loops follow ResilientPcg's idiom: elementwise work is
+  // parallel_for over ranks (disjoint slices), reductions are
+  // parallel_reduce with a fixed grain of one rank per chunk combined in
+  // rank order — bitwise identical to the serial rank loop at every thread
+  // count (docs/parallelism.md).
+  const auto nodes = static_cast<index_t>(part.num_nodes());
+  const index_t rank_grain = adaptive_grain(nodes);
   auto apply_precond = [&](const DistVector& in, DistVector& out) {
-    for (rank_t s = 0; s < part.num_nodes(); ++s) {
-      const CsrMatrix& ps = p_local[static_cast<std::size_t>(s)];
-      ps.spmv(in.local(s), out.local(s));
-      cluster_->add_compute(s, static_cast<double>(ps.spmv_flops()));
-    }
+    parallel_for(index_t{0}, nodes, rank_grain, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        const auto s = static_cast<rank_t>(i);
+        const CsrMatrix& ps = p_local[static_cast<std::size_t>(s)];
+        ps.spmv(in.local(s), out.local(s));
+        cluster_->add_compute(s, static_cast<double>(ps.spmv_flops()));
+      }
+    });
   };
   auto local_dot = [&](const DistVector& u, const DistVector& v) {
-    real_t total = 0;
-    for (rank_t s = 0; s < part.num_nodes(); ++s) {
-      total += vec_dot(u.local(s), v.local(s));
-      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-    }
-    return total;
+    return parallel_reduce(index_t{0}, nodes, index_t{1}, real_t{0},
+                           [&](index_t lo, index_t hi) {
+                             real_t acc = 0;
+                             for (index_t i = lo; i < hi; ++i) {
+                               const auto s = static_cast<rank_t>(i);
+                               acc += vec_dot(u.local(s), v.local(s));
+                               cluster_->add_compute(
+                                   s, 2.0 * static_cast<double>(
+                                                part.local_size(s)));
+                             }
+                             return acc;
+                           });
   };
-  auto local_xpby = [&](DistVector& y, const DistVector& xv, real_t beta) {
-    for (rank_t s = 0; s < part.num_nodes(); ++s) {
-      vec_xpby(y.local(s), xv.local(s), beta);
-      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-    }
+  // The gamma/delta/||r||^2 triple: one sweep over every rank's slices (was
+  // three), feeding the single merged allreduce the formulation is built
+  // around. Componentwise accumulation in rank order keeps each component
+  // bitwise equal to its separate local_dot.
+  using Triple = std::array<real_t, 3>;
+  auto local_dot3 = [&](const DistVector& r, const DistVector& u,
+                        const DistVector& w) {
+    return parallel_reduce(
+        index_t{0}, nodes, index_t{1}, Triple{0, 0, 0},
+        [&](index_t lo, index_t hi) {
+          Triple acc{0, 0, 0};
+          for (index_t i = lo; i < hi; ++i) {
+            const auto s = static_cast<rank_t>(i);
+            const auto [g, d, n2] =
+                vec_dot3(r.local(s), u.local(s), w.local(s), u.local(s),
+                         r.local(s), r.local(s));
+            acc[0] += g;
+            acc[1] += d;
+            acc[2] += n2;
+            cluster_->add_compute(
+                s, 6.0 * static_cast<double>(part.local_size(s)));
+          }
+          return acc;
+        },
+        [](Triple a, Triple b) {
+          return Triple{a[0] + b[0], a[1] + b[1], a[2] + b[2]};
+        });
   };
-  auto local_axpy = [&](DistVector& y, real_t alpha, const DistVector& xv) {
-    for (rank_t s = 0; s < part.num_nodes(); ++s) {
-      vec_axpy(y.local(s), alpha, xv.local(s));
-      cluster_->add_compute(s, 2.0 * static_cast<double>(part.local_size(s)));
-    }
+  // The full recurrence tail — the z/q/s/p xpby quartet plus the x/r/u/w
+  // axpy quartet — in one sweep per rank (was eight).
+  auto local_update = [&](DistVector& z, const DistVector& nv, DistVector& q,
+                          const DistVector& m, DistVector& s_, DistVector& w,
+                          DistVector& p, DistVector& u, DistVector& x,
+                          DistVector& r, real_t alpha, real_t beta) {
+    parallel_for(index_t{0}, nodes, rank_grain, [&](index_t lo, index_t hi) {
+      for (index_t i = lo; i < hi; ++i) {
+        const auto s = static_cast<rank_t>(i);
+        fused_pipelined_update(z.local(s), nv.local(s), q.local(s),
+                               m.local(s), s_.local(s), w.local(s),
+                               p.local(s), u.local(s), x.local(s),
+                               r.local(s), alpha, beta);
+        cluster_->add_compute(
+            s, 16.0 * static_cast<double>(part.local_size(s)));
+      }
+    });
   };
 
   DistPipelinedResult result;
@@ -181,11 +233,9 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
                         alpha_prev, *cluster_);
     }
 
-    // Local dot contributions, then post the allreduce and overlap it with
-    // the preconditioner application and the SpMV.
-    const real_t gamma = local_dot(r, u);
-    const real_t delta = local_dot(w, u);
-    const real_t rr = local_dot(r, r);
+    // Local dot contributions (one fused sweep), then post the allreduce
+    // and overlap it with the preconditioner application and the SpMV.
+    const auto [gamma, delta, rr] = local_dot3(r, u, w);
     apply_precond(w, m);
     engine.spmv(m, nv, /*complete_step=*/false);
     cluster_->allreduce_overlapped(3, CommCategory::allreduce);
@@ -244,14 +294,7 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
       alpha = gamma / denom;
     }
 
-    local_xpby(z, nv, beta);
-    local_xpby(q, m, beta);
-    local_xpby(s, w, beta);
-    local_xpby(p, u, beta);
-    local_axpy(x, alpha, p);
-    local_axpy(r, -alpha, s);
-    local_axpy(u, -alpha, q);
-    local_axpy(w, -alpha, z);
+    local_update(z, nv, q, m, s, w, p, u, x, r, alpha, beta);
     cluster_->complete_step();
 
     gamma_prev = gamma;

@@ -73,6 +73,29 @@ void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
   });
 }
 
+real_t CsrMatrix::spmv_dot(std::span<const real_t> x,
+                           std::span<real_t> y) const {
+  ESRP_CHECK_MSG(rows_ == cols_, "spmv_dot requires a square matrix");
+  ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
+  ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
+  // The row chunking must equal vec_dot's kReduceGrain index chunking (not
+  // spmv's adaptive grain): the dot partials are then the same sums in the
+  // same order as the separate vec_dot, and y itself is per-row exact under
+  // any partitioning, giving bitwise parity with the unfused pair.
+  return parallel_reduce(index_t{0}, rows_, kReduceGrain, real_t{0},
+                         [&](index_t lo, index_t hi) {
+                           spmv_rows(lo, hi, x,
+                                     y.subspan(static_cast<std::size_t>(lo),
+                                               static_cast<std::size_t>(hi - lo)));
+                           real_t acc = 0;
+                           for (index_t i = lo; i < hi; ++i) {
+                             const auto k = static_cast<std::size_t>(i);
+                             acc += x[k] * y[k];
+                           }
+                           return acc;
+                         });
+}
+
 void CsrMatrix::spmv_rows(index_t row_begin, index_t row_end,
                           std::span<const real_t> x,
                           std::span<real_t> y) const {

@@ -40,6 +40,14 @@ public:
   /// y := A x.
   void spmv(std::span<const real_t> x, std::span<real_t> y) const;
 
+  /// Fused y := A x and <x, y> in a single row-partitioned pass — the
+  /// SpMV + p·Ap pair of a CG iteration without re-streaming x and y.
+  /// Requires a square matrix. The dot is accumulated over fixed chunks of
+  /// kReduceGrain rows combined in index order, so the returned value is
+  /// bitwise identical to spmv(x, y) followed by vec_dot(x, y) at every
+  /// thread count (see common/fused.hpp for the determinism contract).
+  real_t spmv_dot(std::span<const real_t> x, std::span<real_t> y) const;
+
   /// y := A[row_begin:row_end, :] x — the node-local part of a distributed
   /// SpMV; `y` has row_end - row_begin entries.
   void spmv_rows(index_t row_begin, index_t row_end, std::span<const real_t> x,

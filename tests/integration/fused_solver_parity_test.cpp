@@ -1,0 +1,276 @@
+// End-to-end guard for the kernel-fusion refactor: the fused solver loops
+// must reproduce the pre-fusion (PR 3) solves bit-for-bit at fixed thread
+// counts. The golden rows below were captured by running the four solvers
+// BEFORE the hot loops were rewired through common/fused.hpp — relres and
+// flops as exact hexfloat bits, solution/residual vectors as FNV-1a-64
+// hashes over their raw bytes. Any fused kernel that changes a single ULP
+// anywhere in a trajectory changes a hash and fails here.
+//
+// The 1- and 4-thread rows of the large cases genuinely differ (chunked
+// reductions), so both the serial and the multi-chunk fused paths are
+// pinned. The resilient rows run a two-event failure/recovery schedule
+// (ESRP reconstruction), an IMCR restore with nonzero initial guess and
+// residual replacement, and the distributed pipelined solver with and
+// without a failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+
+#include "../parallel/thread_count_guard.hpp"
+#include "api/solve.hpp"
+#include "core/resilient_pcg.hpp"
+#include "netsim/cluster.hpp"
+#include "parallel/parallel.hpp"
+#include "pipelined/dist_pipelined_pcg.hpp"
+#include "pipelined/pipelined_pcg.hpp"
+#include "precond/block_jacobi.hpp"
+#include "precond/jacobi.hpp"
+#include "solver/pcg.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+std::uint64_t fnv1a(const Vector& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(real_t); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct Golden {
+  int threads;
+  bool converged;
+  std::int64_t iterations;
+  real_t final_relres;
+  double flops_or_executed; ///< flops (sequential) / executed (distributed)
+  std::uint64_t x_hash;
+  std::uint64_t r_hash; ///< 0 where the solver does not expose r
+};
+
+// clang-format off
+constexpr Golden kPcgSmall[] = {
+    {1, true, 51, 0x1.4e2430a2fc6d8p-27, 0x1.228p+18, 0xaccb8734b55e8272ull, 0},
+    {4, true, 51, 0x1.4e2430a2fc6d8p-27, 0x1.228p+18, 0xaccb8734b55e8272ull, 0},
+};
+constexpr Golden kPcgLarge[] = {
+    {1, true, 603, 0x1.487d050692dafp-27, 0x1.085bp+29, 0x8c00e2a0b758bbaaull, 0},
+    {4, true, 603, 0x1.487d050692fddp-27, 0x1.085bp+29, 0x8795e9b4cf21a41bull, 0},
+};
+constexpr Golden kPipeSmall[] = {
+    {1, true, 45, 0x1.07e2ef4e4f1f6p-27, 0x1.0f3cp+19, 0x9bf9f6427477250eull, 0},
+    {4, true, 45, 0x1.07e2ef4e4f1f6p-27, 0x1.0f3cp+19, 0x9bf9f6427477250eull, 0},
+};
+constexpr Golden kPipeLarge[] = {
+    {1, true, 487, 0x1.4ea50e05f8ab1p-27, 0x1.e38572p+29, 0xe9e93122806cd57full, 0},
+    {4, true, 487, 0x1.4ea57b0906d6ep-27, 0x1.e38572p+29, 0xe7a655dabbabae3cull, 0},
+};
+constexpr Golden kResilientEsrp[] = {
+    {1, true, 46, 0x1.cd74c392c0b03p-28, 53, 0x34d1893ecd3f5437ull, 0xaa5bb0a3791451d2ull},
+    {4, true, 46, 0x1.cd74c392c0b03p-28, 53, 0x34d1893ecd3f5437ull, 0xaa5bb0a3791451d2ull},
+};
+constexpr Golden kResilientImcr[] = {
+    {1, true, 46, 0x1.e117cef1dc2dap-28, 50, 0xc663b01cc5499a89ull, 0x5f0c138d008086b3ull},
+    {4, true, 46, 0x1.e117cef1dc2dap-28, 50, 0xc663b01cc5499a89ull, 0x5f0c138d008086b3ull},
+};
+constexpr Golden kDistPipeImcr[] = {
+    {1, true, 46, 0x1.cd74c2d349e01p-28, 64, 0x84cf8b667d1c4725ull, 0x2b3cdd5e18fca129ull},
+    {4, true, 46, 0x1.cd74c2d349e01p-28, 64, 0x84cf8b667d1c4725ull, 0x2b3cdd5e18fca129ull},
+};
+constexpr Golden kDistPipePlain[] = {
+    {1, true, 46, 0x1.cd74c2d349e01p-28, 46, 0x84cf8b667d1c4725ull, 0x2b3cdd5e18fca129ull},
+    {4, true, 46, 0x1.cd74c2d349e01p-28, 46, 0x84cf8b667d1c4725ull, 0x2b3cdd5e18fca129ull},
+};
+// clang-format on
+
+class FusedSolverParity : public ::testing::Test {
+protected:
+  FusedSolverParity()
+      : small_(poisson2d(16, 16)),
+        large_(poisson2d(200, 200)),
+        b_small_(xp::make_rhs(small_)),
+        b_large_(xp::make_rhs(large_)) {}
+
+  ThreadCountGuard guard_;
+  CsrMatrix small_, large_;
+  Vector b_small_, b_large_;
+};
+
+TEST_F(FusedSolverParity, SequentialPcgMatchesPreFusionPin) {
+  for (const auto& [matrix, b, goldens] :
+       {std::tuple{&small_, &b_small_, std::span<const Golden>(kPcgSmall)},
+        std::tuple{&large_, &b_large_, std::span<const Golden>(kPcgLarge)}}) {
+    const JacobiPreconditioner precond(*matrix);
+    for (const Golden& g : goldens) {
+      SCOPED_TRACE(testing::Message()
+                   << "rows=" << matrix->rows() << " threads=" << g.threads);
+      set_num_threads(g.threads);
+      Vector x(b->size(), 0);
+      const PcgResult r = pcg_solve(*matrix, *b, x, &precond);
+      EXPECT_EQ(g.converged, r.converged);
+      EXPECT_EQ(g.iterations, r.iterations);
+      EXPECT_EQ(g.final_relres, r.final_relres);
+      EXPECT_EQ(g.flops_or_executed, r.flops);
+      EXPECT_EQ(g.x_hash, fnv1a(x));
+    }
+  }
+}
+
+TEST_F(FusedSolverParity, SequentialPipelinedMatchesPreFusionPin) {
+  for (const auto& [matrix, b, goldens] :
+       {std::tuple{&small_, &b_small_, std::span<const Golden>(kPipeSmall)},
+        std::tuple{&large_, &b_large_, std::span<const Golden>(kPipeLarge)}}) {
+    const BlockJacobiPreconditioner precond(*matrix, 10);
+    for (const Golden& g : goldens) {
+      SCOPED_TRACE(testing::Message()
+                   << "rows=" << matrix->rows() << " threads=" << g.threads);
+      set_num_threads(g.threads);
+      Vector x(b->size(), 0);
+      const PipelinedPcgResult r = pipelined_pcg_solve(*matrix, *b, x, &precond);
+      EXPECT_EQ(g.converged, r.converged);
+      EXPECT_EQ(g.iterations, r.iterations);
+      EXPECT_EQ(g.final_relres, r.final_relres);
+      EXPECT_EQ(g.flops_or_executed, r.flops);
+      EXPECT_EQ(g.x_hash, fnv1a(x));
+    }
+  }
+}
+
+TEST_F(FusedSolverParity, ResilientEsrpTwoFailureScheduleMatchesPreFusionPin) {
+  const rank_t nodes = 8;
+  for (const Golden& g : kResilientEsrp) {
+    SCOPED_TRACE(g.threads);
+    set_num_threads(g.threads);
+    const BlockRowPartition part(small_.rows(), nodes);
+    SimCluster cluster(part, xp::calibrated_cost(small_, nodes));
+    const BlockJacobiPreconditioner precond(small_, part, 10);
+    ResilienceOptions opts;
+    opts.strategy = Strategy::esrp;
+    opts.interval = 5;
+    opts.phi = 2;
+    opts.failure = FailureEvent{12, contiguous_ranks(2, 2, nodes)};
+    opts.extra_failures.push_back(
+        FailureEvent{25, contiguous_ranks(5, 1, nodes)});
+    ResilientPcg solver(small_, precond, cluster, opts);
+    const ResilientSolveResult r = solver.solve(b_small_);
+    EXPECT_EQ(g.converged, r.converged);
+    EXPECT_EQ(g.iterations, r.trajectory_iterations);
+    EXPECT_EQ(g.final_relres, r.final_relres);
+    EXPECT_EQ(g.flops_or_executed,
+              static_cast<double>(r.executed_iterations));
+    EXPECT_EQ(g.x_hash, fnv1a(r.x));
+    EXPECT_EQ(g.r_hash, fnv1a(r.r));
+    ASSERT_EQ(2u, r.recoveries.size());
+    EXPECT_EQ(11, r.recoveries[0].restored_to);
+    EXPECT_EQ(21, r.recoveries[1].restored_to);
+  }
+}
+
+TEST_F(FusedSolverParity, ResilientImcrRestartWithX0MatchesPreFusionPin) {
+  const rank_t nodes = 8;
+  for (const Golden& g : kResilientImcr) {
+    SCOPED_TRACE(g.threads);
+    set_num_threads(g.threads);
+    const BlockRowPartition part(small_.rows(), nodes);
+    SimCluster cluster(part, xp::calibrated_cost(small_, nodes));
+    const BlockJacobiPreconditioner precond(small_, part, 10);
+    ResilienceOptions opts;
+    opts.strategy = Strategy::imcr;
+    opts.interval = 6;
+    opts.phi = 2;
+    opts.residual_replacement = 10;
+    opts.failure = FailureEvent{15, contiguous_ranks(1, 2, nodes)};
+    ResilientPcg solver(small_, precond, cluster, opts);
+    const Vector x0(b_small_.size(), 0.5);
+    const ResilientSolveResult r = solver.solve(b_small_, x0);
+    EXPECT_EQ(g.converged, r.converged);
+    EXPECT_EQ(g.iterations, r.trajectory_iterations);
+    EXPECT_EQ(g.final_relres, r.final_relres);
+    EXPECT_EQ(g.flops_or_executed,
+              static_cast<double>(r.executed_iterations));
+    EXPECT_EQ(g.x_hash, fnv1a(r.x));
+    EXPECT_EQ(g.r_hash, fnv1a(r.r));
+  }
+}
+
+TEST_F(FusedSolverParity, DistPipelinedMatchesPreFusionPin) {
+  const rank_t nodes = 8;
+  for (const bool with_failure : {true, false}) {
+    for (const Golden& g : with_failure ? kDistPipeImcr : kDistPipePlain) {
+      SCOPED_TRACE(testing::Message()
+                   << "failure=" << with_failure << " threads=" << g.threads);
+      set_num_threads(g.threads);
+      const BlockRowPartition part(small_.rows(), nodes);
+      SimCluster cluster(part, xp::calibrated_cost(small_, nodes));
+      const BlockJacobiPreconditioner precond(small_, part, 10);
+      DistPipelinedOptions opts;
+      if (with_failure) {
+        opts.strategy = Strategy::imcr;
+        opts.interval = 10;
+        opts.phi = 2;
+        opts.failure = FailureEvent{17, contiguous_ranks(1, 3, nodes)};
+      }
+      DistPipelinedPcg solver(small_, precond, cluster, opts);
+      const DistPipelinedResult r = solver.solve(b_small_);
+      EXPECT_EQ(g.converged, r.converged);
+      EXPECT_EQ(g.iterations, r.trajectory_iterations);
+      EXPECT_EQ(g.final_relres, r.final_relres);
+      EXPECT_EQ(g.flops_or_executed,
+                static_cast<double>(r.executed_iterations));
+      EXPECT_EQ(g.x_hash, fnv1a(r.x));
+      EXPECT_EQ(g.r_hash, fnv1a(r.r));
+    }
+  }
+}
+
+/// Facade-routed solves hit the same pins: the fused loops sit behind
+/// esrp::solve unchanged (the PR 3 parity guarantee).
+TEST_F(FusedSolverParity, FacadeRoutedSolveMatchesPreFusionPin) {
+  for (const Golden& g : kPcgSmall) {
+    SCOPED_TRACE(g.threads);
+    set_num_threads(g.threads);
+    SolveSpec spec;
+    spec.matrix_data = &small_;
+    spec.rhs = b_small_;
+    spec.solver = "pcg";
+    spec.precond = "jacobi";
+    const SolveReport report = solve(spec);
+    EXPECT_EQ(g.converged, report.converged);
+    EXPECT_EQ(g.iterations, report.iterations);
+    EXPECT_EQ(g.final_relres, report.final_relres);
+    EXPECT_EQ(g.flops_or_executed, report.flops);
+    EXPECT_EQ(g.x_hash, fnv1a(report.x));
+  }
+}
+
+/// Flop accounting audit (fused kernels must report the unfused sequence's
+/// counts): with the identity preconditioner the totals have a closed form.
+/// PCG: init spmv + 4n, each executed body spmv + 12n. Pipelined: init
+/// 2 spmv, each loop top 6n, each executed body spmv + 16n.
+TEST_F(FusedSolverParity, FusedFlopAccountingMatchesUnfusedFormula) {
+  const CsrMatrix a = poisson2d(30, 30);
+  const Vector b = xp::make_rhs(a);
+  const double spmv = static_cast<double>(a.spmv_flops());
+  const double n = static_cast<double>(a.rows());
+
+  Vector x(b.size(), 0);
+  const PcgResult pcg = pcg_solve(a, b, x, nullptr);
+  ASSERT_TRUE(pcg.converged);
+  const double j = static_cast<double>(pcg.iterations);
+  EXPECT_EQ(spmv + 4 * n + j * (spmv + 12 * n), pcg.flops);
+
+  Vector xp2(b.size(), 0);
+  const PipelinedPcgResult pipe = pipelined_pcg_solve(a, b, xp2, nullptr);
+  ASSERT_TRUE(pipe.converged);
+  const double jp = static_cast<double>(pipe.iterations);
+  EXPECT_EQ(2 * spmv + (jp + 1) * 6 * n + jp * (spmv + 16 * n), pipe.flops);
+}
+
+} // namespace
+} // namespace esrp

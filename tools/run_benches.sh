@@ -9,10 +9,12 @@
 #                                            # (0 = all hardware threads)
 #
 # Results go to bench_results/<UTC timestamp>/<bench>.log, and a summary of
-# exit codes to bench_results/<UTC timestamp>/SUMMARY. The script exits
-# nonzero iff any bench failed. Table/figure benches of the same matrix
-# share runs through the xp::ResultCache, so running them together is
-# cheaper than separately.
+# exit codes to bench_results/<UTC timestamp>/SUMMARY. A machine-readable
+# snapshot of the run — per-bench status plus every google-benchmark row —
+# is written to BENCH_<UTC timestamp>.json in the repo root so successive
+# runs accumulate a perf trajectory. The script exits nonzero iff any bench
+# failed. Table/figure benches of the same matrix share runs through the
+# xp::ResultCache, so running them together is cheaper than separately.
 set -euo pipefail
 
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
@@ -61,7 +63,8 @@ if [[ ${#only[@]} -gt 0 ]]; then
   benches=("${only[@]}")
 fi
 
-out_dir="$repo_root/bench_results/$(date -u +%Y%m%dT%H%M%SZ)"
+stamp=$(date -u +%Y%m%dT%H%M%SZ)
+out_dir="$repo_root/bench_results/$stamp"
 mkdir -p "$out_dir"
 
 # Configure, and drop benches the configure step reported as skipped
@@ -108,6 +111,37 @@ done
 
 echo "---"
 cat "$out_dir/SUMMARY"
+
+# Dated JSON snapshot for the perf trajectory: one object per bench with
+# its SUMMARY status, plus every google-benchmark measurement row found in
+# the logs (BM_* name, real/cpu time with unit, iteration count). Written
+# last so a crashed run leaves no half-snapshot behind.
+bench_json="$repo_root/BENCH_$stamp.json"
+{
+  echo '{'
+  echo "  \"stamp\": \"$stamp\","
+  echo "  \"threads\": \"${ESRP_NUM_THREADS:-1}\","
+  echo '  "benches": ['
+  awk '{
+    status = $1; name = $2;
+    printf "%s    {\"name\": \"%s\", \"status\": \"%s\"}", sep, name, status;
+    sep = ",\n";
+  } END { print "" }' "$out_dir/SUMMARY"
+  echo '  ],'
+  echo '  "measurements": ['
+  cat "$out_dir"/*.log 2>/dev/null | awk '
+    # Numeric guard on the time fields: a SkipWithError row reads
+    # "BM_Foo ERROR OCCURRED: ..." and must not corrupt the JSON.
+    $1 ~ /^BM_/ && NF >= 6 && $2 ~ /^[0-9.e+-]+$/ && $4 ~ /^[0-9.e+-]+$/ {
+      printf "%s    {\"name\": \"%s\", \"real_time\": %s, \"time_unit\": \"%s\", \"cpu_time\": %s, \"iterations\": %s}",
+             sep, $1, $2, $3, $4, $6;
+      sep = ",\n";
+    } END { print "" }'
+  echo '  ]'
+  echo '}'
+} > "$bench_json"
+echo "perf snapshot: $bench_json"
+
 # Belt and braces: derive the exit code from the SUMMARY itself in addition
 # to the loop's status flag, so any FAIL line guarantees a nonzero exit even
 # if a future refactor moves the loop into a subshell or pipe.
