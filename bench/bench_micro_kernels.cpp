@@ -16,7 +16,7 @@
 #include "comm/exchange.hpp"
 #include "common/fused.hpp"
 #include "common/timer.hpp"
-#include "core/checkpoint_store.hpp"
+#include "resilience/checkpoint_store.hpp"
 #include "core/reconstruction.hpp"
 #include "parallel/parallel.hpp"
 #include "precond/block_jacobi.hpp"
@@ -102,11 +102,13 @@ void BM_CheckpointStore(benchmark::State& state) {
   const CsrMatrix& a = test_matrix();
   const BlockRowPartition part(a.rows(), 64);
   SimCluster cluster(part);
-  CheckpointStore store(part, static_cast<int>(state.range(0)));
-  const DistVector x(part, xp::make_rhs(a));
+  CheckpointStore store(part, static_cast<int>(state.range(0)), 4, 1);
+  DistVector x(part, xp::make_rhs(a));
+  real_t beta = 0.5;
+  const SolverState st{{&x, &x, &x, &x}, {}, {&beta}};
   index_t tag = 0;
   for (auto _ : state) {
-    store.store(tag++, x, x, x, x, 0.5, cluster);
+    store.store(tag++, st, cluster);
   }
 }
 BENCHMARK(BM_CheckpointStore)->Arg(1)->Arg(3)->Arg(8);

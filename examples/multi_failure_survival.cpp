@@ -1,15 +1,21 @@
 // Redundancy-budget study: how many simultaneous node failures can the
 // solver absorb, as a function of the configured redundancy phi?
 //
-// For each (phi, psi) pair the example injects psi contiguous failures into
-// an ESRP run and reports whether the state was reconstructed or the solver
-// had to fall back to a scratch restart. The diagonal psi = phi is the
-// paper's guarantee boundary: psi <= phi must always recover, psi > phi may
-// lose all copies of some entries. Every cell is one SolveSpec into the
-// facade.
+// Part 1: for each (phi, psi) pair the example injects psi contiguous
+// failures into an ESRP run and reports whether the state was reconstructed
+// or the solver had to fall back to a scratch restart. The diagonal
+// psi = phi is the paper's guarantee boundary: psi <= phi must always
+// recover, psi > phi may lose all copies of some entries.
+//
+// Part 2: the same two-event failure schedule through both ESR-capable
+// solvers — classic resilient PCG (paper Alg. 3) and the pipelined solver
+// (exact state reconstruction per reference [16]) — side by side: wasted
+// iterations, recovery time, and total modeled time vs each solver's own
+// failure-free run. Every cell is one SolveSpec into the facade.
 //
 //   $ ./multi_failure_survival
 #include <cstdio>
+#include <vector>
 
 #include "api/solve.hpp"
 #include "sparse/generators.hpp"
@@ -77,5 +83,52 @@ int main() {
 
   std::printf("\nevery psi <= phi cell reconstructed the exact state, as "
               "guaranteed by the ASpMV redundancy invariant.\n");
+
+  // --- Part 2: one schedule, two ESR-capable solvers ---------------------
+  const std::vector<FailureEvent> schedule = {
+      FailureEvent{fail_at / 2, contiguous_ranks(/*start=*/3, 2, nodes)},
+      FailureEvent{fail_at, contiguous_ranks(/*start=*/11, 2, nodes)},
+  };
+  std::printf("\nSame two-event schedule (iterations %lld and %lld, two "
+              "ranks each) through both\nESR-capable solvers, T = %lld, "
+              "phi = 2:\n\n",
+              static_cast<long long>(schedule[0].iteration),
+              static_cast<long long>(schedule[1].iteration),
+              static_cast<long long>(interval));
+  std::printf("  %-15s %5s %6s %9s %7s %12s %11s %9s\n", "solver", "conv",
+              "iters", "executed", "wasted", "recovery[s]", "modeled[s]",
+              "overhead");
+
+  for (const char* solver : {"resilient-pcg", "dist-pipelined"}) {
+    SolveSpec failure_free = base;
+    failure_free.solver = solver;
+    failure_free.strategy = Strategy::esrp;
+    failure_free.interval = interval;
+    failure_free.phi = 2;
+    const SolveReport clean = solve(failure_free);
+
+    SolveSpec spec = failure_free;
+    spec.failures = schedule;
+    const SolveReport out = solve(spec);
+    if (!out.converged || out.restarted_from_scratch()) {
+      std::printf("ERROR: %s did not recover both events exactly\n", solver);
+      return 1;
+    }
+    std::printf("  %-15s %5s %6lld %9lld %7lld %12.4f %11.3f %8.1f%%\n",
+                solver, out.converged ? "yes" : "no",
+                static_cast<long long>(out.iterations),
+                static_cast<long long>(out.executed_iterations),
+                static_cast<long long>(out.wasted_iterations()),
+                out.recovery_modeled_time(), out.modeled_time,
+                100 * (out.modeled_time - clean.modeled_time) /
+                    clean.modeled_time);
+  }
+
+  std::printf("\nboth solvers replay the schedule through the shared "
+              "resilience engine: the classic\nsolver reconstructs via "
+              "Alg. 2, the pipelined solver via the recurrence scheme of\n"
+              "reference [16]; the pipelined rows pay dedicated "
+              "redundancy messages per storage\nstage but keep the "
+              "overlapped single-reduction iteration.\n");
   return 0;
 }

@@ -121,6 +121,13 @@ struct SolverEntry {
   std::size_t max_failure_events = 0;
   /// Whether Strategy::esrp is implemented (distributed solvers only).
   bool supports_esrp = false;
+  /// Whether no-spare recovery (SolveSpec::spare_nodes = false: survivors
+  /// absorb the failed ranks' ranges) is implemented.
+  bool supports_no_spare = false;
+  /// Whether periodic residual replacement (SolveSpec::residual_replacement
+  /// > 0) is implemented (distributed solvers only; sequential solvers
+  /// ignore the field).
+  bool supports_residual_replacement = true;
   /// Whether a non-empty SolveSpec::x0 initial guess is honored.
   bool supports_x0 = true;
 };

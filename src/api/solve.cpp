@@ -171,7 +171,11 @@ SolveReport run_dist_pipelined(const SolveContext& ctx) {
   opts.strategy = spec.strategy;
   opts.interval = spec.interval;
   opts.phi = spec.phi;
-  if (!spec.failures.empty()) opts.failure = spec.failures.front();
+  opts.queue_capacity = spec.queue_capacity;
+  opts.precond_formulation = spec.formulation;
+  opts.spare_nodes = spec.spare_nodes;
+  opts.residual_replacement = spec.residual_replacement;
+  opts.extra_failures = spec.failures;
 
   DistPipelinedPcg solver(ctx.a, *precond, cluster, opts);
   if (SolverObserver* obs = ctx.observer) {
@@ -216,14 +220,17 @@ Registry<SolverEntry>& solver_registry() {
            SolverEntry{.run = run_resilient,
                        .distributed = true,
                        .max_failure_events = SIZE_MAX,
-                       .supports_esrp = true});
+                       .supports_esrp = true,
+                       .supports_no_spare = true});
     r->add("dist-pipelined",
-           "distributed pipelined PCG (communication hiding; strategies "
-           "none/imcr)",
+           "distributed pipelined PCG (communication hiding) with "
+           "ESRP/IMCR recovery (ref. [16])",
            SolverEntry{.run = run_dist_pipelined,
                        .distributed = true,
-                       .max_failure_events = 1,
-                       .supports_esrp = false,
+                       .max_failure_events = SIZE_MAX,
+                       .supports_esrp = true,
+                       .supports_no_spare = false,
+                       .supports_residual_replacement = false,
                        .supports_x0 = false});
     return r;
   }();

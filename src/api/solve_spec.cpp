@@ -102,9 +102,20 @@ void validate_spec(const SolveSpec& spec) {
               (solver.max_failure_events == 1 ? "" : "s"));
     if (spec.strategy == Strategy::esrp && !solver.supports_esrp)
       invalid("\"" + spec.solver +
-              "\" supports strategies none and imcr only (exact state "
-              "reconstruction for pipelined PCG is the contribution of the "
-              "paper's reference [16])");
+              "\" supports strategies none and imcr only (no exact state "
+              "reconstruction for its recurrences)");
+    if (!spec.spare_nodes && !solver.supports_no_spare)
+      invalid("\"" + spec.solver +
+              "\" does not support no-spare recovery (spare_nodes = false); "
+              "use \"resilient-pcg\" or keep spare nodes");
+    if (!spec.spare_nodes && spec.strategy != Strategy::esrp)
+      invalid("no-spare recovery is only defined for the esrp strategy "
+              "(ref. [22]); strategy \"" + to_string(spec.strategy) +
+              "\" needs spare nodes");
+    if (spec.residual_replacement > 0 && !solver.supports_residual_replacement)
+      invalid("\"" + spec.solver +
+              "\" does not implement residual replacement "
+              "(residual_replacement > 0); use \"resilient-pcg\"");
   } else if (!spec.failures.empty()) {
     invalid("solver \"" + spec.solver +
             "\" is sequential and cannot inject node failures");

@@ -18,8 +18,8 @@
 
 #include "common/types.hpp"
 #include "common/vec.hpp"
-#include "core/resilient_pcg.hpp"
 #include "netsim/failure.hpp"
+#include "resilience/options.hpp"
 
 namespace esrp {
 
@@ -72,7 +72,8 @@ struct SolveSpec {
 
   /// Failure schedule: each event fires once at its iteration. Events must
   /// be fully specified (iteration >= 0, non-empty ranks) with pairwise
-  /// distinct iterations. "dist-pipelined" supports at most one event.
+  /// distinct iterations. Both distributed solvers support multi-event
+  /// schedules (redundancy is replenished by later storage stages).
   std::vector<FailureEvent> failures;
 
   // --- execution -------------------------------------------------------

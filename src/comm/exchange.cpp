@@ -164,4 +164,37 @@ RedundantCopy ExchangeEngine::aspmv(const AspmvPlan& aug, const DistVector& p,
   return copy;
 }
 
+RedundantCopy ExchangeEngine::disseminate(const AspmvPlan& aug,
+                                          const DistVector& p, index_t tag) {
+  const BlockRowPartition& part = plan_->partition();
+  ESRP_CHECK(&aug.base() == plan_);
+  RedundantCopy copy(tag, part.num_nodes());
+
+  for (rank_t s = 0; s < part.num_nodes(); ++s) {
+    const auto owned = p.local(s);
+    const index_t lo = part.begin(s);
+    // Halo-list receivers first, then the augmentation top-up — the same
+    // coverage an aspmv() capture records, but every send is a dedicated
+    // redundancy message here.
+    for (const SendList& sl : plan_->sends(s)) {
+      cluster_->send(s, sl.to,
+                     sl.indices.size() * CostParams::bytes_per_scalar,
+                     CommCategory::aspmv_extra);
+      for (index_t i : sl.indices)
+        copy.record(sl.to, i, owned[static_cast<std::size_t>(i - lo)]);
+    }
+    for (const SendList& sl : aug.extra_sends(s)) {
+      cluster_->send(s, sl.to,
+                     sl.indices.size() * CostParams::bytes_per_scalar,
+                     CommCategory::aspmv_extra);
+      for (index_t i : sl.indices)
+        copy.record(sl.to, i, owned[static_cast<std::size_t>(i - lo)]);
+    }
+  }
+
+  cluster_->complete_step();
+  copy.finalize();
+  return copy;
+}
+
 } // namespace esrp

@@ -79,6 +79,18 @@ public:
   RedundantCopy aspmv(const AspmvPlan& aug, const DistVector& p, index_t tag,
                       DistVector& y);
 
+  /// Disseminate redundant off-owner copies of `p` per the plan WITHOUT
+  /// computing a product — the pipelined solver's ESR storage stage, where
+  /// the iteration's SpMV input is m = P w rather than the search direction
+  /// the reconstruction needs (ref. [16]). Sends the regular halo lists
+  /// plus the augmentation lists (none of it feeds a product), so the
+  /// returned copy has the same >= phi off-owner coverage as an aspmv()
+  /// capture. All messages are charged as aspmv_extra: on a real cluster
+  /// this is pure redundancy traffic that cannot piggyback on an existing
+  /// exchange of p. Completes the superstep.
+  RedundantCopy disseminate(const AspmvPlan& aug, const DistVector& p,
+                            index_t tag);
+
   const SpmvPlan& plan() const { return *plan_; }
 
 private:

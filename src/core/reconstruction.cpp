@@ -148,6 +148,7 @@ ReconstructionOutput reconstruct_state(const ReconstructionInputs& in,
     return out; // ok = false: redundancy destroyed (more than phi failures)
   }
   out.p_f = p_cur_f;
+  out.p_prev_f = p_prev_f;
 
   // Step 4: z_f = p_f - beta* p_prev_f.
   out.z_f.assign(nf, 0);
@@ -228,6 +229,30 @@ ReconstructionOutput reconstruct_state(const ReconstructionInputs& in,
                                      static_cast<rank_t>(in.failed.size()),
                                      2 * CostParams::bytes_per_scalar));
   out.ok = true;
+  return out;
+}
+
+Vector reconstruct_row_product(const CsrMatrix& m, const IndexSet& lost,
+                               const BlockRowPartition& part,
+                               std::span<const real_t> v_f,
+                               const DistVector& v_star, SimCluster& cluster,
+                               double& flops) {
+  ESRP_CHECK(v_f.size() == lost.size());
+  const std::size_t nf = lost.size();
+  const CsrMatrix m_ff = m.extract(lost, lost);
+  const CsrMatrix m_fc = m.extract_excluding_cols(lost, lost);
+  charge_offblock_gather(m, lost, part, cluster);
+
+  Vector out(nf, 0);
+  m_ff.spmv(v_f, out);
+  flops += static_cast<double>(m_ff.spmv_flops());
+  if (m_fc.nnz() > 0) {
+    const Vector v_c = surviving_compact(v_star, lost);
+    Vector tmp(nf);
+    m_fc.spmv(v_c, tmp);
+    for (std::size_t k = 0; k < nf; ++k) out[k] += tmp[k];
+    flops += static_cast<double>(m_fc.spmv_flops()) + static_cast<double>(nf);
+  }
   return out;
 }
 

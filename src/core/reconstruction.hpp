@@ -70,6 +70,11 @@ struct ReconstructionOutput {
   bool ok = false;          ///< false: a redundant copy did not survive
   IndexSet lost;            ///< I_f (sorted)
   Vector x_f, r_f, z_f, p_f; ///< reconstructed entries, compact over I_f
+  /// The gathered I_f entries of the *older* copy p'^(j*-1). The classic
+  /// recovery only needs p'^(j*) (= p_f), but the pipelined recurrences
+  /// roll back to the older tag, where the search direction is this one
+  /// (pipelined/pipelined_esr.hpp).
+  Vector p_prev_f;
   index_t inner_iterations_precond = 0; ///< PCG iterations for P_{I_f,I_f}
   index_t inner_iterations_matrix = 0;  ///< PCG iterations for A_{I_f,I_f}
   double flops = 0;          ///< total reconstruction floating-point work
@@ -77,5 +82,22 @@ struct ReconstructionOutput {
 
 ReconstructionOutput reconstruct_state(const ReconstructionInputs& in,
                                        SimCluster& cluster);
+
+/// One derived step of the pipelined reconstruction (ref. [16]): rows I_f
+/// of `m` applied to the full vector whose I_f entries are `v_f` (compact
+/// over `lost`) and whose surviving entries come from the rolled-back star
+/// vector `v_star`:
+///
+///   out = M_{I_f,I_f} v_f + M_{I_f,I\I_f} v_star_{I\I_f}.
+///
+/// Charges the gather of the referenced surviving entries (category
+/// recovery, one message per (owner, replacement) pair) and accumulates the
+/// floating-point work into `flops`; the caller spreads the compute charge
+/// over the replacement nodes.
+Vector reconstruct_row_product(const CsrMatrix& m, const IndexSet& lost,
+                               const BlockRowPartition& part,
+                               std::span<const real_t> v_f,
+                               const DistVector& v_star, SimCluster& cluster,
+                               double& flops);
 
 } // namespace esrp

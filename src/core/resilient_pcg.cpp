@@ -27,27 +27,6 @@ index_t node_grain(rank_t num_nodes) {
 /// a rank's slice dot dwarfs a task dispatch.
 constexpr index_t kNodeReduceGrain = 1;
 
-} // namespace
-
-std::string to_string(Strategy s) {
-  switch (s) {
-    case Strategy::none: return "none";
-    case Strategy::esrp: return "esrp";
-    case Strategy::imcr: return "imcr";
-  }
-  return "?";
-}
-
-Strategy strategy_from_string(std::string_view name) {
-  if (name == "none") return Strategy::none;
-  if (name == "esrp") return Strategy::esrp;
-  if (name == "imcr") return Strategy::imcr;
-  throw Error("unknown strategy \"" + std::string(name) +
-              "\" (valid: none, esrp, imcr)");
-}
-
-namespace {
-
 /// The preconditioner action must be block diagonal with respect to the node
 /// partition: every row's entries stay within the owner's index range. This
 /// is what makes its application communication-free and P_{I_f, I\I_f} = 0.
@@ -64,6 +43,18 @@ void check_node_local(const CsrMatrix& p, const BlockRowPartition& part) {
   }
 }
 
+/// Engine configuration of the classic solver: one star snapshot of
+/// {x, r, z, p} + beta, with the trailing copy pairing of Alg. 2 (z^(t)
+/// derives from copies p'^(t-1), p'^(t)).
+ResilienceEngine::Config classic_engine_config() {
+  ResilienceEngine::Config cfg;
+  cfg.snapshot_slots = 1;
+  cfg.pairing = ResilienceEngine::CopyPairing::trailing;
+  cfg.checkpoint_vectors = 4;
+  cfg.checkpoint_scalars = 1;
+  return cfg;
+}
+
 } // namespace
 
 ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
@@ -75,7 +66,7 @@ ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
       plan_(std::make_unique<SpmvPlan>(a, cluster.partition())),
       aug_(std::make_unique<AspmvPlan>(*plan_, opts.phi)),
       engine_(std::make_unique<ExchangeEngine>(a, *plan_, cluster)),
-      queue_(opts.queue_capacity) {
+      resilience_(opts, cluster.partition(), classic_engine_config()) {
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(a.rows() == cluster.partition().global_size());
   ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
@@ -88,35 +79,9 @@ ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
                    "Preconditioner::matrix_form()");
   }
   ESRP_CHECK(precond.dim() == a.rows());
-  ESRP_CHECK_MSG(opts.interval >= 1, "checkpoint interval must be >= 1");
   ESRP_CHECK(opts.rtol > 0 && opts.inner_rtol > 0);
-
-  const BlockRowPartition& part = cluster.partition();
-  build_precond_blocks();
-  ESRP_CHECK_MSG(opts_.spare_nodes || opts_.strategy == Strategy::esrp,
-                 "no-spare recovery is only defined for ESR/ESRP (ref. [22])");
-
-  if (opts_.failure.enabled()) events_.push_back(opts_.failure);
-  for (const FailureEvent& e : opts_.extra_failures) {
-    ESRP_CHECK_MSG(e.enabled(), "extra failure event is not fully specified");
-    events_.push_back(e);
-  }
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const FailureEvent& e = events_[i];
-    for (rank_t s : e.ranks) {
-      ESRP_CHECK_MSG(s >= 0 && s < part.num_nodes(),
-                     "failure rank " << s << " out of range");
-    }
-    ESRP_CHECK(e.ranks.size() < static_cast<std::size_t>(part.num_nodes()));
-    for (std::size_t k = i + 1; k < events_.size(); ++k) {
-      ESRP_CHECK_MSG(events_[k].iteration != e.iteration,
-                     "failure events must have distinct iterations");
-    }
-  }
   ESRP_CHECK(opts_.residual_replacement >= 0);
-
-  if (opts_.strategy == Strategy::imcr)
-    checkpoint_ = std::make_unique<CheckpointStore>(part, opts_.phi);
+  build_precond_blocks();
 }
 
 void ResilientPcg::build_precond_blocks() {
@@ -132,25 +97,23 @@ void ResilientPcg::build_precond_blocks() {
   }
 }
 
+SolverState ResilientPcg::solver_state() {
+  return SolverState{{x_.get(), r_.get(), z_.get(), p_.get()},
+                     {ap_.get()},
+                     {&beta_}};
+}
+
 void ResilientPcg::repartition(std::span<const rank_t> failed) {
   // Gather the current state, absorb the failed ranks' ranges into their
   // surviving neighbors, and rebuild everything partition-dependent. The
   // accounting approximation: adopters already received the reconstructed
   // entries during the recovery gather, so no extra migration messages are
-  // charged (DESIGN.md).
+  // charged (DESIGN.md). The engine's star snapshots migrate around this
+  // hook (ResilienceEngine::recover).
   const Vector xg = x_->gather_global();
   const Vector rg = r_->gather_global();
   const Vector zg = z_->gather_global();
   const Vector pg = p_->gather_global();
-  Vector sx, sr, sz, sp;
-  index_t star_tag = -1;
-  if (stars_) {
-    star_tag = stars_->tag;
-    sx = stars_->x.gather_global();
-    sr = stars_->r.gather_global();
-    sz = stars_->z.gather_global();
-    sp = stars_->p.gather_global();
-  }
 
   owned_part_ = std::make_unique<BlockRowPartition>(
       absorb_ranks(cluster_->partition(), failed));
@@ -167,14 +130,6 @@ void ResilientPcg::repartition(std::span<const rank_t> failed) {
   z_ = std::make_unique<DistVector>(np, zg);
   p_ = std::make_unique<DistVector>(np, pg);
   ap_ = std::make_unique<DistVector>(np);
-  if (stars_) {
-    stars_ = std::make_unique<StarCopies>(np);
-    stars_->tag = star_tag;
-    stars_->x.set_from_global(sx);
-    stars_->r.set_from_global(sr);
-    stars_->z.set_from_global(sz);
-    stars_->p.set_from_global(sp);
-  }
 }
 
 real_t ResilientPcg::dot(const DistVector& a, const DistVector& b) {
@@ -299,127 +254,52 @@ void ResilientPcg::initialize_state(std::span<const real_t> b,
   cluster_->complete_step();
 }
 
-void ResilientPcg::write_lost_entries(DistVector& v,
-                                      std::span<const index_t> lost,
-                                      std::span<const real_t> values) {
-  ESRP_CHECK(lost.size() == values.size());
-  for (std::size_t k = 0; k < lost.size(); ++k) v.set(lost[k], values[k]);
-}
-
-index_t ResilientPcg::inject_and_recover(const FailureEvent& event,
-                                         index_t j_fail,
-                                         std::span<const real_t> b,
-                                         std::span<const real_t> x0,
-                                         RecoveryRecord& record) {
+bool ResilientPcg::reconstruct_lost(StateSnapshot& stars,
+                                    const RedundantCopy& prev,
+                                    const RedundantCopy& cur,
+                                    std::span<const rank_t> failed,
+                                    std::span<const real_t> b,
+                                    RecoveryRecord& record) {
   const BlockRowPartition& part = cluster_->partition();
-  const std::span<const rank_t> failed = event.ranks;
-  record.failed_at = j_fail;
+  ReconstructionInputs in;
+  in.a = a_;
+  in.p_action = precond_->action_matrix();
+  in.formulation = opts_.precond_formulation;
+  in.p_matrix = precond_->matrix_form();
+  in.z_star = &stars.vec(2);
+  in.part = &part;
+  in.failed = failed;
+  in.p_prev = &prev;
+  in.p_cur = &cur;
+  in.beta_prev = stars.scalar(0); // beta^(j*-1), captured with the snapshot
+  in.x_star = &stars.vec(0);
+  in.r_star = &stars.vec(1);
+  in.b_global = b;
+  in.inner_rtol = opts_.inner_rtol;
+  in.inner_max_iterations = opts_.inner_max_iterations;
+  in.inner_block_size = opts_.inner_block_size;
+  const ReconstructionOutput out = reconstruct_state(in, *cluster_);
+  if (!out.ok) return false;
 
-  // Data loss: all dynamic data of the failed ranks disappears — the live
-  // vectors, the node-local star copies, and every redundant copy the failed
-  // ranks were holding for other nodes. (The IMCR store models the holder
-  // loss through the surviving-buddy check.)
-  x_->zero_ranks(failed);
-  r_->zero_ranks(failed);
-  z_->zero_ranks(failed);
-  p_->zero_ranks(failed);
-  ap_->zero_ranks(failed);
-  if (stars_) {
-    stars_->x.zero_ranks(failed);
-    stars_->r.zero_ranks(failed);
-    stars_->z.zero_ranks(failed);
-    stars_->p.zero_ranks(failed);
-  }
-  queue_.drop_holders(failed);
-
-  const double t0 = cluster_->modeled_time();
-  bool recovered = false;
-  index_t resume = 0;
-
-  // With the default three-slot queue the storage pair for the target is
-  // always present; a two-slot queue (ablation) can have evicted it, in
-  // which case recovery falls through to the scratch restart below.
-  const RedundantCopy* prev = nullptr;
-  const RedundantCopy* cur = nullptr;
-  if (opts_.strategy == Strategy::esrp && last_recoverable_ >= 0) {
-    prev = queue_.find(last_recoverable_ - 1);
-    cur = queue_.find(last_recoverable_);
-  }
-  if (opts_.strategy == Strategy::esrp && prev && cur) {
-    const index_t target = last_recoverable_;
-    ESRP_CHECK(stars_ && stars_->tag == target);
-    ReconstructionInputs in;
-    in.a = a_;
-    in.p_action = precond_->action_matrix();
-    in.formulation = opts_.precond_formulation;
-    in.p_matrix = precond_->matrix_form();
-    in.z_star = &stars_->z;
-    in.part = &part;
-    in.failed = failed;
-    in.p_prev = prev;
-    in.p_cur = cur;
-    in.beta_prev = beta_star_;
-    in.x_star = &stars_->x;
-    in.r_star = &stars_->r;
-    in.b_global = b;
-    in.inner_rtol = opts_.inner_rtol;
-    in.inner_max_iterations = opts_.inner_max_iterations;
-    in.inner_block_size = opts_.inner_block_size;
-    const ReconstructionOutput out = reconstruct_state(in, *cluster_);
-    if (out.ok) {
-      // Survivors roll back to the star copies; replacements receive the
-      // reconstructed entries.
-      x_->copy_from(stars_->x);
-      r_->copy_from(stars_->r);
-      z_->copy_from(stars_->z);
-      p_->copy_from(stars_->p);
-      write_lost_entries(*x_, out.lost, out.x_f);
-      write_lost_entries(*r_, out.lost, out.r_f);
-      write_lost_entries(*z_, out.lost, out.z_f);
-      write_lost_entries(*p_, out.lost, out.p_f);
-      // The replacements' star copies are the state just reconstructed.
-      stars_->x.copy_from(*x_);
-      stars_->r.copy_from(*r_);
-      stars_->z.copy_from(*z_);
-      stars_->p.copy_from(*p_);
-      beta_ = beta_star_;
-      record.inner_iterations_precond = out.inner_iterations_precond;
-      record.inner_iterations_matrix = out.inner_iterations_matrix;
-      resume = target;
-      recovered = true;
-    }
-  } else if (opts_.strategy == Strategy::imcr && checkpoint_ &&
-             checkpoint_->has_checkpoint()) {
-    if (checkpoint_->restore(failed, *x_, *r_, *z_, *p_, beta_, *cluster_)) {
-      resume = checkpoint_->tag();
-      recovered = true;
-    }
-  }
-
-  if (recovered && !opts_.spare_nodes) {
-    // No spare nodes (ref. [22]): surviving neighbors absorb the failed
-    // ranks' ranges; the solve continues on the repartitioned cluster.
-    repartition(failed);
-  }
-
-  if (!recovered) {
-    // No recoverable redundant state: restart the solve from the beginning
-    // (the fate of an unprotected solver, paper §1). Without spares the
-    // restart also runs on the shrunken ownership map.
-    if (!opts_.spare_nodes) repartition(failed);
-    initialize_state(b, x0);
-    queue_.clear();
-    stars_.reset();
-    last_recoverable_ = -1;
-    beta_star_ = beta_dstar_ = 0;
-    resume = 0;
-    record.restarted_from_scratch = true;
-  }
-
-  record.restored_to = resume;
-  record.wasted_iterations = j_fail - resume;
-  record.modeled_time = cluster_->modeled_time() - t0;
-  return resume;
+  // Survivors roll back to the star copies; replacements receive the
+  // reconstructed entries.
+  x_->copy_from(stars.vec(0));
+  r_->copy_from(stars.vec(1));
+  z_->copy_from(stars.vec(2));
+  p_->copy_from(stars.vec(3));
+  write_lost_entries(*x_, out.lost, out.x_f);
+  write_lost_entries(*r_, out.lost, out.r_f);
+  write_lost_entries(*z_, out.lost, out.z_f);
+  write_lost_entries(*p_, out.lost, out.p_f);
+  // The replacements' star copies are the state just reconstructed.
+  stars.vec(0).copy_from(*x_);
+  stars.vec(1).copy_from(*r_);
+  stars.vec(2).copy_from(*z_);
+  stars.vec(3).copy_from(*p_);
+  beta_ = stars.scalar(0);
+  record.inner_iterations_precond = out.inner_iterations_precond;
+  record.inner_iterations_matrix = out.inner_iterations_matrix;
+  return true;
 }
 
 ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
@@ -439,10 +319,27 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
   z_ = std::make_unique<DistVector>(part);
   p_ = std::make_unique<DistVector>(part);
   ap_ = std::make_unique<DistVector>(part);
-  queue_.clear();
-  stars_.reset();
-  last_recoverable_ = -1;
-  beta_star_ = beta_dstar_ = 0;
+  resilience_.begin_solve(*cluster_);
+  beta_dstar_ = 0;
+
+  // The SolverState contract plus the classic-recurrence hooks the engine
+  // orchestrates on a failure.
+  ResilienceEngine::Client client;
+  client.state = [this] { return solver_state(); };
+  client.restart = [this, b, x0] {
+    initialize_state(b, x0);
+    beta_dstar_ = 0;
+  };
+  client.repartition = [this](std::span<const rank_t> failed) {
+    repartition(failed);
+  };
+  client.reconstruct = [this, b](StateSnapshot& stars,
+                                 const RedundantCopy& prev,
+                                 const RedundantCopy& cur,
+                                 std::span<const rank_t> failed,
+                                 RecoveryRecord& record) {
+    return reconstruct_lost(stars, prev, cur, failed, b, record);
+  };
 
   DistVector b_dist(part, b);
   const real_t bnorm = std::sqrt(dot(b_dist, b_dist));
@@ -456,7 +353,6 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
 
   index_t j = 0;
   index_t executed = 0;
-  std::vector<bool> event_done(events_.size(), false);
 
   while (true) {
     result.final_relres = rnorm / bnorm;
@@ -474,67 +370,34 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
     if (hook_) hook_(j, *x_, *r_, *z_, *p_);
 
     // --- Storage / checkpoint phase (Alg. 3 lines 4-12) ---
-    bool first_store = false, second_store = false;
-    if (opts_.strategy == Strategy::esrp) {
-      if (T == 1) {
-        second_store = true; // classic ESR: full storage every iteration
-      } else if (j >= T && j % T == 0) {
-        first_store = true;
-      } else if (j >= T + 1 && j % T == 1) {
-        second_store = true;
-      }
-    }
-    // (The tag check skips re-checkpointing identical state when the first
-    // iteration after a rollback is itself a checkpoint iteration.)
-    if (opts_.strategy == Strategy::imcr && j > 0 && j % T == 0 &&
-        checkpoint_->tag() != j)
-      checkpoint_->store(j, *x_, *r_, *z_, *p_, beta_, *cluster_);
+    const ResilienceEngine::StoragePlan stores = resilience_.storage_plan(j);
+    if (resilience_.checkpoint_due(j))
+      resilience_.store_checkpoint(j, solver_state());
 
     // --- SpMV phase ---
-    if (first_store || second_store) {
-      queue_.push(engine_->aspmv(*aug_, *p_, j, *ap_));
-      if (second_store) {
-        // cluster_->partition() rather than the construction-time partition:
-        // a no-spare restart may have repartitioned the cluster.
-        if (!stars_)
-          stars_ = std::make_unique<StarCopies>(cluster_->partition());
-        stars_->tag = j;
-        stars_->x.copy_from(*x_);
-        stars_->r.copy_from(*r_);
-        stars_->z.copy_from(*z_);
-        stars_->p.copy_from(*p_);
+    if (stores.store()) {
+      resilience_.push_copy(engine_->aspmv(*aug_, *p_, j, *ap_));
+      if (stores.second_store) {
         // beta currently holds beta^(j-1), the value Alg. 2 needs; for
         // T >= 3 it equals the beta** captured at the end of iteration mT.
         if (T > 1 && j > T + 1) ESRP_CHECK(beta_ == beta_dstar_);
-        beta_star_ = beta_;
-        if (queue_.find(j - 1) != nullptr) last_recoverable_ = j;
+        resilience_.save_snapshot(j, solver_state());
+        if (resilience_.has_copy(j - 1)) resilience_.set_recoverable(j);
       }
     } else {
       engine_->spmv(*p_, *ap_);
     }
 
     // --- Failure injection (paper §4: zero out at the marked iteration) ---
-    {
-      std::size_t pending = events_.size();
-      for (std::size_t e = 0; e < events_.size(); ++e) {
-        if (!event_done[e] && events_[e].iteration == j) {
-          pending = e;
-          break;
-        }
-      }
-      if (pending < events_.size()) {
-        event_done[pending] = true;
-        if (on_failure_) on_failure_(events_[pending]);
-        RecoveryRecord record;
-        j = inject_and_recover(events_[pending], j, b, x0, record);
-        if (on_recovery_) on_recovery_(record);
-        result.recoveries.push_back(record);
-        const auto [rz_rec, rr_rec] = dot2(*r_, *z_, *r_, *r_);
-        rz = rz_rec;
-        rnorm = std::sqrt(rr_rec);
-        ++executed;
-        continue;
-      }
+    if (const FailureEvent* event = resilience_.pending_event(j)) {
+      RecoveryRecord record;
+      j = resilience_.recover(*event, j, client, record);
+      result.recoveries.push_back(record);
+      const auto [rz_rec, rr_rec] = dot2(*r_, *z_, *r_, *r_);
+      rz = rz_rec;
+      rnorm = std::sqrt(rr_rec);
+      ++executed;
+      continue;
     }
 
     // --- CG updates (Alg. 3 lines 13-18) ---
@@ -548,7 +411,7 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
     rz = rz_next;
     rnorm = std::sqrt(rr);
     xpby(*p_, *z_, beta_);
-    if (opts_.strategy == Strategy::esrp && T > 1 && first_store)
+    if (opts_.strategy == Strategy::esrp && T > 1 && stores.first_store)
       beta_dstar_ = beta_; // the paper's beta** = beta^(mT)
 
     // --- Residual replacement (van der Vorst & Ye, the paper's [27]) ---

@@ -1,21 +1,25 @@
 // Distributed PCG with algorithm-based checkpoint-recovery — the paper's
 // Alg. 3 plus the failure-injection and recovery protocol of §4.
 //
-// Strategies:
-//   none — plain distributed PCG (the reference run; a failure without a
-//          recovery mechanism restarts the solver from scratch);
-//   esrp — exact state reconstruction with periodic storage. interval T = 1
-//          is classic per-iteration ESR; T >= 3 stores redundant copies in
-//          two consecutive ASpMV iterations every T iterations (the storage
-//          stage) and keeps a three-slot redundancy queue;
-//   imcr — in-memory buddy checkpoint-restart every T iterations.
+// The resilience machinery itself — strategy state (redundancy queue +
+// storage stages for ESRP, buddy checkpoints for IMCR), failure-event
+// scheduling, and recovery orchestration including the no-spare path — is
+// the solver-agnostic ResilienceEngine (resilience/engine.hpp); this solver
+// is its first client and contributes only what is specific to the classic
+// CG recurrences: the solve loop, and the Alg. 2 reconstruction hook
+// (z from the p-recurrence inversion, then r and x by inner solves —
+// core/reconstruction.hpp). The Strategy enum and the shared
+// ResilienceOptions / RecoveryRecord types live in resilience/options.hpp;
+// the pipelined solver (pipelined/dist_pipelined_pcg.hpp) consumes the very
+// same surface.
 //
-// Failure model (paper §4/§5): one failure event per run; at the marked
-// iteration the affected ranks zero all their dynamic data (vector slices
-// and scalars) and then act as their own replacement nodes. The event is
-// injected after the SpMV/storage phase of the marked iteration, before the
-// alpha update. Static data (A, P, b) is assumed reloadable from safe
-// storage and its reload is not charged, as in the paper.
+// Failure model (paper §4/§5): at the marked iteration the affected ranks
+// zero all their dynamic data (vector slices and scalars) and then act as
+// their own replacement nodes. The event is injected after the
+// SpMV/storage phase of the marked iteration, before the alpha update.
+// Static data (A, P, b) is assumed reloadable from safe storage and its
+// reload is not charged, as in the paper. The paper injects one event per
+// run; ResilienceOptions::extra_failures schedules repeated recoveries.
 #pragma once
 
 #include <functional>
@@ -28,68 +32,16 @@
 #include "comm/aspmv_plan.hpp"
 #include "comm/exchange.hpp"
 #include "comm/spmv_plan.hpp"
-#include "core/checkpoint_store.hpp"
 #include "core/reconstruction.hpp"
-#include "core/redundancy_queue.hpp"
 #include "netsim/cluster.hpp"
 #include "netsim/dist_vector.hpp"
 #include "netsim/failure.hpp"
 #include "precond/preconditioner.hpp"
+#include "resilience/engine.hpp"
+#include "resilience/options.hpp"
 #include "sparse/csr.hpp"
 
 namespace esrp {
-
-enum class Strategy { none, esrp, imcr };
-
-std::string to_string(Strategy s);
-
-/// Inverse of to_string(Strategy): "none" | "esrp" | "imcr". Throws
-/// esrp::Error on anything else, naming the valid spellings.
-Strategy strategy_from_string(std::string_view name);
-
-struct ResilienceOptions {
-  Strategy strategy = Strategy::none;
-  index_t interval = 1;        ///< T, the checkpointing interval
-  int phi = 1;                 ///< redundant copies / supported failures
-  std::size_t queue_capacity = 3; ///< ESRP redundancy-queue slots
-  real_t rtol = 1e-8;          ///< convergence: ||r||_2 / ||b||_2 < rtol
-  index_t max_iterations = 200000; ///< cap on executed iteration bodies
-  real_t inner_rtol = 1e-14;   ///< reconstruction inner-solve tolerance
-  index_t inner_max_iterations = 0;
-  index_t inner_block_size = 10;
-  /// How the preconditioner enters Alg. 2 (paper reference [20]). The
-  /// matrix formulation needs Preconditioner::matrix_form() and skips the
-  /// P_{I_f,I_f} inner solve.
-  PrecondFormulation precond_formulation = PrecondFormulation::inverse;
-  /// With spare nodes (default, the paper's setting) the failed ranks act
-  /// as their own replacements. Without spares (paper §4 / reference [22],
-  /// ESRP only) the nearest surviving neighbors absorb the failed ranks'
-  /// index ranges after the reconstruction and the solve continues on the
-  /// repartitioned cluster; the retired ranks stay idle.
-  bool spare_nodes = true;
-  /// Periodically recompute r = b - A x explicitly every this many
-  /// iterations (0 = never). Residual replacement (the paper's reference
-  /// [27]) counters the drift between the recursive and the true residual
-  /// that the Eq. 2 metric measures.
-  index_t residual_replacement = 0;
-  FailureEvent failure; ///< convenience single event (paper §5 protocol)
-  /// Additional failure events. Each event fires once, at the first
-  /// execution of its iteration; events must have pairwise distinct
-  /// iterations. The paper injects exactly one event per run; multiple
-  /// events exercise repeated recoveries (redundancy is replenished by the
-  /// following storage stages / checkpoints).
-  std::vector<FailureEvent> extra_failures;
-};
-
-struct RecoveryRecord {
-  index_t failed_at = -1;      ///< iteration of the failure event
-  index_t restored_to = -1;    ///< iteration the solver resumed from
-  index_t wasted_iterations = 0; ///< failed_at - restored_to
-  double modeled_time = 0;     ///< modeled time of the recovery itself
-  index_t inner_iterations_precond = 0;
-  index_t inner_iterations_matrix = 0;
-  bool restarted_from_scratch = false; ///< no recoverable state existed
-};
 
 struct ResilientSolveResult {
   bool converged = false;
@@ -133,12 +85,12 @@ public:
   }
   /// Invoked when a failure event fires, before any recovery work.
   void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
-    on_failure_ = std::move(cb);
+    resilience_.set_failure_callback(std::move(cb));
   }
   /// Invoked after each completed recovery (reconstruction, restore, or
   /// scratch restart) with the finished record.
   void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
-    on_recovery_ = std::move(cb);
+    resilience_.set_recovery_callback(std::move(cb));
   }
 
   const ResilienceOptions& options() const { return opts_; }
@@ -153,18 +105,11 @@ public:
 
   /// Introspection for tests: the redundancy-queue tags (oldest first) as of
   /// the end of the last solve.
-  std::vector<index_t> queue_tags() const { return queue_.tags(); }
+  std::vector<index_t> queue_tags() const { return resilience_.queue_tags(); }
   /// Latest reconstructable iteration (-1 if none) after the last solve.
-  index_t last_recoverable() const { return last_recoverable_; }
+  index_t last_recoverable() const { return resilience_.last_recoverable(); }
 
 private:
-  struct StarCopies {
-    explicit StarCopies(const BlockRowPartition& part)
-        : x(part), r(part), z(part), p(part) {}
-    index_t tag = -1;
-    DistVector x, r, z, p;
-  };
-
   // Distributed primitives (all charge the cost model).
   real_t dot(const DistVector& a, const DistVector& b);
   std::pair<real_t, real_t> dot2(const DistVector& a, const DistVector& b,
@@ -177,19 +122,23 @@ private:
   void apply_precond(const DistVector& r, DistVector& z);
 
   void initialize_state(std::span<const real_t> b, std::span<const real_t> x0);
-  void write_lost_entries(DistVector& v, std::span<const index_t> lost,
-                          std::span<const real_t> values);
+
+  /// The SolverState contract with the resilience engine: live vectors
+  /// {x, r, z, p}, scratch {ap}, scalars {beta}.
+  SolverState solver_state();
 
   /// Rebuild plans, engine, preconditioner blocks and state vectors on the
-  /// repartitioned cluster (no-spare recovery).
+  /// repartitioned cluster (no-spare recovery; the resilience engine
+  /// migrates its own snapshots around this hook).
   void repartition(std::span<const rank_t> failed);
 
-  /// Inject one failure event at iteration j_fail and recover.
-  /// Returns the iteration to resume from.
-  index_t inject_and_recover(const FailureEvent& event, index_t j_fail,
-                             std::span<const real_t> b,
-                             std::span<const real_t> x0,
-                             RecoveryRecord& record);
+  /// ESRP reconstruction hook (Alg. 2): rebuild the failed entries at the
+  /// star snapshot from the two consecutive redundant copies and roll the
+  /// live state back to the repaired snapshot.
+  bool reconstruct_lost(StateSnapshot& stars, const RedundantCopy& prev,
+                        const RedundantCopy& cur,
+                        std::span<const rank_t> failed,
+                        std::span<const real_t> b, RecoveryRecord& record);
 
   void build_precond_blocks();
 
@@ -201,25 +150,16 @@ private:
   std::unique_ptr<SpmvPlan> plan_;
   std::unique_ptr<AspmvPlan> aug_;
   std::unique_ptr<ExchangeEngine> engine_;
+  ResilienceEngine resilience_;
   std::vector<CsrMatrix> precond_local_; ///< node-diagonal blocks of P
 
   // Solver state (valid during solve()).
   std::unique_ptr<DistVector> x_, r_, z_, p_, ap_;
   real_t beta_ = 0;
-
-  // Resilience state.
-  RedundancyQueue queue_;
-  std::unique_ptr<StarCopies> stars_;
-  real_t beta_star_ = 0;
   real_t beta_dstar_ = 0; ///< the paper's beta**, captured at mT
-  index_t last_recoverable_ = -1;
-  std::unique_ptr<CheckpointStore> checkpoint_;
-  std::vector<FailureEvent> events_; ///< merged failure + extra_failures
 
   IterationHook hook_;
   std::function<void(index_t, real_t)> progress_;
-  std::function<void(const FailureEvent&)> on_failure_;
-  std::function<void(const RecoveryRecord&)> on_recovery_;
 };
 
 } // namespace esrp

@@ -9,79 +9,27 @@
 #include "common/error.hpp"
 #include "common/fused.hpp"
 #include "parallel/parallel.hpp"
+#include "pipelined/pipelined_esr.hpp"
 
 namespace esrp {
 
 namespace {
 
-/// In-memory buddy checkpoint of the full pipelined state: eight recurrence
-/// vectors plus the two carried scalars.
-class PipelinedCheckpoint {
-public:
-  PipelinedCheckpoint(const BlockRowPartition& part, int phi)
-      : part_(&part), phi_(phi), vecs_{DistVector(part), DistVector(part),
-                                       DistVector(part), DistVector(part),
-                                       DistVector(part), DistVector(part),
-                                       DistVector(part), DistVector(part)} {}
-
-  bool has_checkpoint() const { return tag_ >= 0; }
-  index_t tag() const { return tag_; }
-
-  void store(index_t iteration, const std::array<const DistVector*, 8>& state,
-             real_t gamma_prev, real_t alpha_prev, SimCluster& cluster) {
-    tag_ = iteration;
-    for (std::size_t k = 0; k < 8; ++k) vecs_[k].copy_from(*state[k]);
-    gamma_prev_ = gamma_prev;
-    alpha_prev_ = alpha_prev;
-    const rank_t n_nodes = part_->num_nodes();
-    for (rank_t s = 0; s < n_nodes; ++s) {
-      const std::size_t bytes =
-          (8 * static_cast<std::size_t>(part_->local_size(s)) + 2) *
-          CostParams::bytes_per_scalar;
-      for (int k = 1; k <= phi_; ++k)
-        cluster.send(s, designated_destination(s, k, n_nodes), bytes,
-                     CommCategory::checkpoint);
-    }
-    cluster.complete_step();
-  }
-
-  bool restore(std::span<const rank_t> failed,
-               const std::array<DistVector*, 8>& state, real_t& gamma_prev,
-               real_t& alpha_prev, SimCluster& cluster) const {
-    ESRP_CHECK(has_checkpoint());
-    for (rank_t s : failed) {
-      bool found = false;
-      for (int k = 1; k <= phi_ && !found; ++k)
-        found = !rank_in(failed,
-                         designated_destination(s, k, part_->num_nodes()));
-      if (!found) return false;
-    }
-    for (std::size_t k = 0; k < 8; ++k) state[k]->copy_from(vecs_[k]);
-    gamma_prev = gamma_prev_;
-    alpha_prev = alpha_prev_;
-    for (rank_t s : failed) {
-      for (int k = 1; k <= phi_; ++k) {
-        const rank_t buddy = designated_destination(s, k, part_->num_nodes());
-        if (rank_in(failed, buddy)) continue;
-        cluster.send(buddy, s,
-                     (8 * static_cast<std::size_t>(part_->local_size(s)) + 2) *
-                         CostParams::bytes_per_scalar,
-                     CommCategory::recovery);
-        break;
-      }
-    }
-    cluster.complete_step();
-    return true;
-  }
-
-private:
-  const BlockRowPartition* part_;
-  int phi_;
-  index_t tag_ = -1;
-  std::array<DistVector, 8> vecs_;
-  real_t gamma_prev_ = 0;
-  real_t alpha_prev_ = 0;
-};
+/// Engine configuration of the pipelined solver: the eight recurrence
+/// vectors + {gamma_prev, alpha_prev} with the leading copy pairing of
+/// reference [16] (snapshot t consumes copies p'^(t), p'^(t+1)); one extra
+/// snapshot scalar carries beta^(t), which only exists mid-iteration t.
+ResilienceEngine::Config pipelined_engine_config() {
+  ResilienceEngine::Config cfg;
+  // Two star-snapshot slots: with T = 1 iteration j declares snapshot j-1
+  // recoverable while snapshot j is already being captured.
+  cfg.snapshot_slots = 2;
+  cfg.snapshot_extra_scalars = 1;
+  cfg.pairing = ResilienceEngine::CopyPairing::leading;
+  cfg.checkpoint_vectors = kPipelinedVectors;
+  cfg.checkpoint_scalars = 2;
+  return cfg;
+}
 
 } // namespace
 
@@ -89,17 +37,31 @@ DistPipelinedPcg::DistPipelinedPcg(const CsrMatrix& a,
                                    const Preconditioner& precond,
                                    SimCluster& cluster,
                                    DistPipelinedOptions opts)
-    : a_(&a), precond_(&precond), cluster_(&cluster), opts_(opts) {
+    : a_(&a),
+      precond_(&precond),
+      cluster_(&cluster),
+      opts_(opts),
+      resilience_(opts, cluster.partition(), pipelined_engine_config()) {
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(a.rows() == cluster.partition().global_size());
   ESRP_CHECK(precond.dim() == a.rows());
   ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
                  "distributed pipelined PCG requires an explicit "
                  "preconditioner action");
-  ESRP_CHECK_MSG(opts_.strategy != Strategy::esrp,
-                 "exact state reconstruction for pipelined PCG is the "
-                 "contribution of Levonyak et al. [16] and is not "
-                 "implemented; use Strategy::imcr or Strategy::none");
+  if (opts_.strategy == Strategy::esrp &&
+      opts_.precond_formulation == PrecondFormulation::matrix) {
+    ESRP_CHECK_MSG(precond.matrix_form() != nullptr,
+                   "the matrix formulation requires "
+                   "Preconditioner::matrix_form()");
+  }
+  ESRP_CHECK_MSG(opts_.spare_nodes,
+                 "no-spare recovery is not implemented for the pipelined "
+                 "recurrences (repartitioning the overlapped plans is future "
+                 "work); keep spare_nodes = true");
+  ESRP_CHECK_MSG(opts_.residual_replacement == 0,
+                 "residual replacement is not implemented for the pipelined "
+                 "solver");
+  ESRP_CHECK(opts_.rtol > 0 && opts_.inner_rtol > 0);
 }
 
 DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
@@ -110,6 +72,10 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
 
   const SpmvPlan plan(*a_, part);
   ExchangeEngine engine(*a_, plan, *cluster_);
+  // The augmentation plan only routes the ESRP storage stages' redundant
+  // p copies: the regular iteration SpMV (input m) stays unaugmented.
+  std::optional<AspmvPlan> aug;
+  if (opts_.strategy == Strategy::esrp) aug.emplace(plan, opts_.phi);
 
   // Node-local preconditioner blocks (same requirement as ResilientPcg).
   std::vector<CsrMatrix> p_local;
@@ -200,6 +166,15 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
   DistVector z(part), q(part), s(part), p(part);
   real_t gamma_prev = 0, alpha_prev = 0;
 
+  // The SolverState contract with the resilience engine: the eight
+  // recurrence vectors in PipelinedVec order, the m/nv scratch, and the two
+  // carried scalars.
+  auto state = [&] {
+    return SolverState{{&x, &r, &u, &w, &z, &q, &s, &p},
+                       {&m, &nv},
+                       {&gamma_prev, &alpha_prev}};
+  };
+
   DistVector b_dist(part, b);
   const real_t bnorm = std::sqrt(local_dot(b_dist, b_dist));
   cluster_->allreduce(1, CommCategory::allreduce);
@@ -217,20 +192,70 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
     gamma_prev = alpha_prev = 0;
   };
   initialize();
+  resilience_.begin_solve(*cluster_);
 
-  std::unique_ptr<PipelinedCheckpoint> checkpoint;
-  if (opts_.strategy == Strategy::imcr)
-    checkpoint = std::make_unique<PipelinedCheckpoint>(part, opts_.phi);
+  ResilienceEngine::Client client;
+  client.state = state;
+  client.restart = initialize;
+  client.reconstruct = [&](StateSnapshot& stars, const RedundantCopy& prev,
+                           const RedundantCopy& cur,
+                           std::span<const rank_t> failed,
+                           RecoveryRecord& record) {
+    PipelinedEsrInputs in;
+    in.a = a_;
+    in.p_action = precond_->action_matrix();
+    in.formulation = opts_.precond_formulation;
+    in.p_matrix = precond_->matrix_form();
+    in.part = &part;
+    in.failed = failed;
+    in.p_cur = &prev; // leading pairing: `prev` is the rollback tag t
+    in.p_next = &cur; // and `cur` is p'^(t+1)
+    in.beta = stars.scalar(2);
+    in.stars = &stars;
+    in.b_global = b;
+    in.inner_rtol = opts_.inner_rtol;
+    in.inner_max_iterations = opts_.inner_max_iterations;
+    in.inner_block_size = opts_.inner_block_size;
+    const PipelinedEsrOutput out = reconstruct_pipelined_state(in, *cluster_);
+    if (!out.ok) return false;
+
+    // Survivors roll back to the stars; replacements receive the
+    // reconstructed entries; the repaired state becomes the new snapshot.
+    const SolverState st = state();
+    stars.restore_vectors(st);
+    const std::array<const Vector*, kPipelinedVectors> fixed = {
+        &out.x_f, &out.r_f, &out.u_f, &out.w_f,
+        &out.z_f, &out.q_f, &out.s_f, &out.p_f};
+    for (std::size_t k = 0; k < kPipelinedVectors; ++k) {
+      write_lost_entries(*st.vectors[k], out.lost, *fixed[k]);
+      stars.vec(k).copy_from(*st.vectors[k]);
+    }
+    gamma_prev = stars.scalar(0);
+    alpha_prev = stars.scalar(1);
+    record.inner_iterations_precond = out.inner_iterations_precond;
+    record.inner_iterations_matrix = out.inner_iterations_matrix;
+    return true;
+  };
 
   index_t j = 0;
   index_t executed = 0;
-  bool injected = false;
 
   while (executed < opts_.max_iterations) {
-    if (opts_.strategy == Strategy::imcr && j > 0 &&
-        j % opts_.interval == 0 && checkpoint->tag() != j) {
-      checkpoint->store(j, {&x, &r, &u, &w, &z, &q, &s, &p}, gamma_prev,
-                        alpha_prev, *cluster_);
+    if (resilience_.checkpoint_due(j))
+      resilience_.store_checkpoint(j, state());
+
+    // ESRP storage stage (ref. [16]): disseminate the redundant copies of
+    // p and capture the star snapshot at the *first* storage iteration —
+    // the leading pairing makes it recoverable once the second iteration's
+    // copy is in place.
+    const ResilienceEngine::StoragePlan stores = resilience_.storage_plan(j);
+    if (stores.store()) {
+      resilience_.push_copy(engine.disseminate(*aug, p, j));
+      if (stores.first_store || opts_.interval == 1)
+        resilience_.save_snapshot(j, state());
+      if (j >= 1 && resilience_.has_copy(j - 1) &&
+          resilience_.has_snapshot(j - 1))
+        resilience_.set_recoverable(j - 1);
     }
 
     // Local dot contributions (one fused sweep), then post the allreduce
@@ -249,34 +274,11 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
       break;
     }
 
-    // Failure injection point: after the SpMV phase, as in ResilientPcg.
-    if (!injected && opts_.failure.enabled() &&
-        j == opts_.failure.iteration) {
-      injected = true;
-      if (on_failure_) on_failure_(opts_.failure);
+    // Failure injection point: after the SpMV/storage phase, as in
+    // ResilientPcg.
+    if (const FailureEvent* event = resilience_.pending_event(j)) {
       RecoveryRecord record;
-      record.failed_at = j;
-      const std::span<const rank_t> failed = opts_.failure.ranks;
-      for (DistVector* v :
-           {&x, &r, &u, &w, &m, &nv, &z, &q, &s, &p})
-        v->zero_ranks(failed);
-      const double t0 = cluster_->modeled_time();
-      bool recovered = false;
-      if (checkpoint && checkpoint->has_checkpoint()) {
-        recovered = checkpoint->restore(failed, {&x, &r, &u, &w, &z, &q, &s,
-                                                 &p},
-                                        gamma_prev, alpha_prev, *cluster_);
-        if (recovered) j = checkpoint->tag();
-      }
-      if (!recovered) {
-        initialize();
-        j = 0;
-        record.restarted_from_scratch = true;
-      }
-      record.restored_to = j;
-      record.wasted_iterations = record.failed_at - j;
-      record.modeled_time = cluster_->modeled_time() - t0;
-      if (on_recovery_) on_recovery_(record);
+      j = resilience_.recover(*event, j, client, record);
       result.recoveries.push_back(record);
       ++executed;
       continue;
@@ -293,6 +295,10 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
       ESRP_CHECK_MSG(denom != 0, "pipelined PCG breakdown at iteration " << j);
       alpha = gamma / denom;
     }
+    // beta^(j) completes the snapshot captured earlier this iteration: the
+    // p-recurrence inversion at rollback target j needs it.
+    if (opts_.strategy == Strategy::esrp)
+      resilience_.set_snapshot_scalar(j, 2, beta);
 
     local_update(z, nv, q, m, s, w, p, u, x, r, alpha, beta);
     cluster_->complete_step();

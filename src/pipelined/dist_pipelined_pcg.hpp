@@ -7,33 +7,43 @@
 // large node counts this removes the reduction from the critical path that
 // dominates classic PCG.
 //
-// Resilience: IMCR checkpointing extends naturally (checkpoint all eight
-// recurrence vectors). Exact state reconstruction for the pipelined
-// recurrences is the contribution of the paper's reference [16] and is out
-// of scope here; a failure without a checkpoint restarts from scratch.
+// Resilience rides on the same solver-agnostic ResilienceEngine as the
+// classic solver (resilience/engine.hpp) and the shared ResilienceOptions
+// surface, including multi-event failure schedules:
+//   imcr — buddy checkpoints of the eight recurrence vectors plus the two
+//          carried scalars, every T iterations;
+//   esrp — exact state reconstruction for the pipelined recurrences, per
+//          the paper's reference [16] (Levonyak et al.): the storage stage
+//          disseminates redundant copies of the search direction p (the
+//          iteration's SpMV input is m = P w, so the copies cannot ride the
+//          ASpMV as in classic ESR) and saves the star snapshot at the
+//          first storage iteration; recovery inverts the p-recurrence into
+//          u, runs the standard Alg. 2 inner solves for r and x, and
+//          derives w, s, q, z by row products (pipelined/pipelined_esr.hpp).
+// Not supported here: no-spare recovery (repartitioning the pipelined
+// plans is future work — ResilienceOptions::spare_nodes must stay true),
+// residual replacement, and initial guesses.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
 
-#include "core/resilient_pcg.hpp" // Strategy, FailureEvent, RecoveryRecord
+#include "core/resilient_pcg.hpp" // RecoveryRecord, shared result plumbing
 #include "netsim/cluster.hpp"
 #include "netsim/dist_vector.hpp"
 #include "precond/preconditioner.hpp"
+#include "resilience/engine.hpp"
+#include "resilience/options.hpp"
 #include "sparse/csr.hpp"
 
 namespace esrp {
 
-struct DistPipelinedOptions {
-  real_t rtol = 1e-8;
-  index_t max_iterations = 200000;
-  /// Strategy::none or Strategy::imcr (ESRP requires the reconstruction of
-  /// [16] and is rejected).
-  Strategy strategy = Strategy::none;
-  index_t interval = 20; ///< IMCR checkpoint interval
-  int phi = 1;
-  FailureEvent failure;
+/// The shared resilience surface (strategy, interval, phi, queue capacity,
+/// failure schedule incl. extra_failures, inner-solve parameters, rtol,
+/// max_iterations) with the pipelined solver's historical default interval.
+struct DistPipelinedOptions : ResilienceOptions {
+  DistPipelinedOptions() { interval = 20; }
 };
 
 struct DistPipelinedResult {
@@ -60,20 +70,24 @@ public:
     progress_ = std::move(cb);
   }
   void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
-    on_failure_ = std::move(cb);
+    resilience_.set_failure_callback(std::move(cb));
   }
   void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
-    on_recovery_ = std::move(cb);
+    resilience_.set_recovery_callback(std::move(cb));
   }
+
+  const ResilienceOptions& options() const { return opts_; }
+  /// Introspection for tests, mirroring ResilientPcg.
+  std::vector<index_t> queue_tags() const { return resilience_.queue_tags(); }
+  index_t last_recoverable() const { return resilience_.last_recoverable(); }
 
 private:
   const CsrMatrix* a_;
   const Preconditioner* precond_;
   SimCluster* cluster_;
   DistPipelinedOptions opts_;
+  ResilienceEngine resilience_;
   std::function<void(index_t, real_t)> progress_;
-  std::function<void(const FailureEvent&)> on_failure_;
-  std::function<void(const RecoveryRecord&)> on_recovery_;
 };
 
 } // namespace esrp

@@ -1,0 +1,69 @@
+#include "pipelined/pipelined_esr.hpp"
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+PipelinedEsrOutput reconstruct_pipelined_state(const PipelinedEsrInputs& in,
+                                               SimCluster& cluster) {
+  ESRP_CHECK(in.a && in.p_action && in.part && in.stars);
+  ESRP_CHECK(in.p_cur && in.p_next);
+  ESRP_CHECK(in.p_next->tag() == in.p_cur->tag() + 1);
+  ESRP_CHECK(in.stars->num_vectors() == kPipelinedVectors);
+  const StateSnapshot& stars = *in.stars;
+
+  // Steps 1-5: the Alg. 2 core. The pipelined p-update inverts to the
+  // preconditioned residual u (classic CG's z role), so reconstruct_state's
+  // z_f IS u_f; its p_prev_f is the search direction at the rollback tag.
+  ReconstructionInputs core;
+  core.a = in.a;
+  core.p_action = in.p_action;
+  core.formulation = in.formulation;
+  core.p_matrix = in.p_matrix;
+  core.z_star = &stars.vec(kPipeU);
+  core.part = in.part;
+  core.failed = in.failed;
+  core.p_prev = in.p_cur;
+  core.p_cur = in.p_next;
+  core.beta_prev = in.beta;
+  core.x_star = &stars.vec(kPipeX);
+  core.r_star = &stars.vec(kPipeR);
+  core.b_global = in.b_global;
+  core.inner_rtol = in.inner_rtol;
+  core.inner_max_iterations = in.inner_max_iterations;
+  core.inner_block_size = in.inner_block_size;
+  const ReconstructionOutput base = reconstruct_state(core, cluster);
+
+  PipelinedEsrOutput out;
+  out.lost = base.lost;
+  if (!base.ok) return out; // redundancy destroyed (more than phi failures)
+  out.x_f = base.x_f;
+  out.r_f = base.r_f;
+  out.u_f = base.z_f;
+  out.p_f = base.p_prev_f;
+  out.inner_iterations_precond = base.inner_iterations_precond;
+  out.inner_iterations_matrix = base.inner_iterations_matrix;
+
+  // Step 6: the four derived recurrence vectors, each one row-product over
+  // the repaired full vector (reconstructed I_f entries + survivors' star
+  // entries). Order matters: q needs s, z needs q.
+  double flops = 0;
+  out.s_f = reconstruct_row_product(*in.a, out.lost, *in.part, out.p_f,
+                                    stars.vec(kPipeP), cluster, flops);
+  out.w_f = reconstruct_row_product(*in.a, out.lost, *in.part, out.u_f,
+                                    stars.vec(kPipeU), cluster, flops);
+  out.q_f = reconstruct_row_product(*in.p_action, out.lost, *in.part, out.s_f,
+                                    stars.vec(kPipeS), cluster, flops);
+  out.z_f = reconstruct_row_product(*in.a, out.lost, *in.part, out.q_f,
+                                    stars.vec(kPipeQ), cluster, flops);
+
+  // Spread the derived-product compute over the replacement nodes, like
+  // reconstruct_state does for the Alg. 2 core.
+  const auto num_failed = static_cast<double>(in.failed.size());
+  for (rank_t repl : in.failed) cluster.add_compute(repl, flops / num_failed);
+
+  out.ok = true;
+  return out;
+}
+
+} // namespace esrp

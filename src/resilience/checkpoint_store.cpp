@@ -1,0 +1,80 @@
+#include "resilience/checkpoint_store.hpp"
+
+#include "comm/aspmv_plan.hpp"
+#include "common/error.hpp"
+
+namespace esrp {
+
+CheckpointStore::CheckpointStore(const BlockRowPartition& part, int phi,
+                                 std::size_t num_vectors,
+                                 std::size_t num_scalars)
+    : part_(&part), phi_(phi), num_scalars_(num_scalars) {
+  ESRP_CHECK(phi >= 1 && phi < part.num_nodes());
+  ESRP_CHECK(num_vectors >= 1);
+  vecs_.reserve(num_vectors);
+  for (std::size_t k = 0; k < num_vectors; ++k) vecs_.emplace_back(part);
+  scalars_.assign(num_scalars, 0);
+}
+
+void CheckpointStore::store(index_t iteration, const SolverState& state,
+                            SimCluster& cluster) {
+  ESRP_CHECK(state.vectors.size() == vecs_.size());
+  ESRP_CHECK(state.scalars.size() == num_scalars_);
+  tag_ = iteration;
+  for (std::size_t k = 0; k < vecs_.size(); ++k)
+    vecs_[k].copy_from(*state.vectors[k]);
+  for (std::size_t k = 0; k < num_scalars_; ++k)
+    scalars_[k] = *state.scalars[k];
+
+  const rank_t n_nodes = part_->num_nodes();
+  for (rank_t s = 0; s < n_nodes; ++s) {
+    const std::size_t bytes =
+        (vecs_.size() * static_cast<std::size_t>(part_->local_size(s)) +
+         num_scalars_) *
+        CostParams::bytes_per_scalar;
+    for (int k = 1; k <= phi_; ++k) {
+      cluster.send(s, designated_destination(s, k, n_nodes), bytes,
+                   CommCategory::checkpoint);
+    }
+  }
+  cluster.complete_step();
+}
+
+std::optional<rank_t> CheckpointStore::surviving_buddy(
+    rank_t rank, std::span<const rank_t> failed) const {
+  for (int k = 1; k <= phi_; ++k) {
+    const rank_t d = designated_destination(rank, k, part_->num_nodes());
+    if (!rank_in(failed, d)) return d;
+  }
+  return std::nullopt;
+}
+
+bool CheckpointStore::restore(std::span<const rank_t> failed,
+                              const SolverState& state,
+                              SimCluster& cluster) const {
+  ESRP_CHECK(has_checkpoint());
+  ESRP_CHECK(state.vectors.size() == vecs_.size());
+  ESRP_CHECK(state.scalars.size() == num_scalars_);
+  for (rank_t s : failed) {
+    if (!surviving_buddy(s, failed)) return false;
+  }
+
+  // Survivors roll back from their local copies (no messages); replacements
+  // fetch their slices from a surviving buddy.
+  for (std::size_t k = 0; k < vecs_.size(); ++k)
+    state.vectors[k]->copy_from(vecs_[k]);
+  for (std::size_t k = 0; k < num_scalars_; ++k)
+    *state.scalars[k] = scalars_[k];
+  for (rank_t s : failed) {
+    const rank_t buddy = *surviving_buddy(s, failed);
+    const std::size_t bytes =
+        (vecs_.size() * static_cast<std::size_t>(part_->local_size(s)) +
+         num_scalars_) *
+        CostParams::bytes_per_scalar;
+    cluster.send(buddy, s, bytes, CommCategory::recovery);
+  }
+  cluster.complete_step();
+  return true;
+}
+
+} // namespace esrp

@@ -1,0 +1,216 @@
+#include "resilience/engine.hpp"
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+ResilienceEngine::ResilienceEngine(ResilienceOptions opts,
+                                   const BlockRowPartition& part, Config cfg)
+    : opts_(std::move(opts)), cfg_(cfg), queue_(opts_.queue_capacity) {
+  ESRP_CHECK_MSG(opts_.interval >= 1, "checkpoint interval must be >= 1");
+  ESRP_CHECK_MSG(opts_.spare_nodes || opts_.strategy == Strategy::esrp,
+                 "no-spare recovery is only defined for ESR/ESRP (ref. [22])");
+  ESRP_CHECK(cfg_.snapshot_slots >= 1);
+
+  if (opts_.failure.enabled()) events_.push_back(opts_.failure);
+  for (const FailureEvent& e : opts_.extra_failures) {
+    ESRP_CHECK_MSG(e.enabled(), "extra failure event is not fully specified");
+    events_.push_back(e);
+  }
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const FailureEvent& e = events_[i];
+    for (rank_t s : e.ranks) {
+      ESRP_CHECK_MSG(s >= 0 && s < part.num_nodes(),
+                     "failure rank " << s << " out of range");
+    }
+    ESRP_CHECK(e.ranks.size() < static_cast<std::size_t>(part.num_nodes()));
+    for (std::size_t k = i + 1; k < events_.size(); ++k) {
+      ESRP_CHECK_MSG(events_[k].iteration != e.iteration,
+                     "failure events must have distinct iterations");
+    }
+  }
+  event_done_.assign(events_.size(), false);
+
+  if (opts_.strategy == Strategy::imcr) {
+    ESRP_CHECK(cfg_.checkpoint_vectors >= 1);
+    checkpoint_ = std::make_unique<CheckpointStore>(
+        part, opts_.phi, cfg_.checkpoint_vectors, cfg_.checkpoint_scalars);
+  }
+}
+
+void ResilienceEngine::begin_solve(SimCluster& cluster) {
+  cluster_ = &cluster;
+  queue_.clear();
+  snapshots_.clear();
+  last_recoverable_ = -1;
+  event_done_.assign(events_.size(), false);
+}
+
+const FailureEvent* ResilienceEngine::pending_event(index_t j) {
+  for (std::size_t e = 0; e < events_.size(); ++e) {
+    if (!event_done_[e] && events_[e].iteration == j) {
+      event_done_[e] = true;
+      return &events_[e];
+    }
+  }
+  return nullptr;
+}
+
+ResilienceEngine::StoragePlan ResilienceEngine::storage_plan(index_t j) const {
+  StoragePlan plan;
+  if (opts_.strategy != Strategy::esrp) return plan;
+  const index_t T = opts_.interval;
+  if (T == 1) {
+    plan.second_store = true; // classic ESR: full storage every iteration
+  } else if (j >= T && j % T == 0) {
+    plan.first_store = true;
+  } else if (j >= T + 1 && j % T == 1) {
+    plan.second_store = true;
+  }
+  return plan;
+}
+
+void ResilienceEngine::save_snapshot(index_t tag, const SolverState& state) {
+  ESRP_CHECK(cluster_ != nullptr);
+  for (StateSnapshot& s : snapshots_) {
+    if (s.tag() == tag) {
+      s.recapture(tag, state); // rollback re-execution: replace in place
+      return;
+    }
+  }
+  if (snapshots_.size() >= cfg_.snapshot_slots) {
+    StateSnapshot oldest = std::move(snapshots_.front());
+    snapshots_.erase(snapshots_.begin());
+    // Reuse the evicted slot's allocation when it still matches the live
+    // layout (it does except right after a no-spare repartition).
+    if (oldest.num_vectors() == state.vectors.size() &&
+        oldest.num_vectors() > 0 &&
+        &oldest.vec(0).partition() == &cluster_->partition()) {
+      oldest.recapture(tag, state);
+      snapshots_.push_back(std::move(oldest));
+      return;
+    }
+  }
+  snapshots_.emplace_back(tag, state, cluster_->partition(),
+                          cfg_.snapshot_extra_scalars);
+}
+
+void ResilienceEngine::set_snapshot_scalar(index_t tag, std::size_t k,
+                                           real_t v) {
+  if (StateSnapshot* s = find_snapshot(tag)) s->set_scalar(k, v);
+}
+
+const StateSnapshot* ResilienceEngine::find_snapshot(index_t tag) const {
+  for (const StateSnapshot& s : snapshots_)
+    if (s.tag() == tag) return &s;
+  return nullptr;
+}
+
+StateSnapshot* ResilienceEngine::find_snapshot(index_t tag) {
+  for (StateSnapshot& s : snapshots_)
+    if (s.tag() == tag) return &s;
+  return nullptr;
+}
+
+bool ResilienceEngine::checkpoint_due(index_t j) const {
+  return opts_.strategy == Strategy::imcr && checkpoint_ != nullptr && j > 0 &&
+         j % opts_.interval == 0 && checkpoint_->tag() != j;
+}
+
+void ResilienceEngine::store_checkpoint(index_t j, const SolverState& state) {
+  ESRP_CHECK(cluster_ != nullptr && checkpoint_ != nullptr);
+  checkpoint_->store(j, state, *cluster_);
+}
+
+void ResilienceEngine::repartition_with_snapshots(
+    std::span<const rank_t> failed, const Client& client) {
+  ESRP_CHECK_MSG(client.repartition,
+                 "no-spare recovery needs a repartition hook");
+  // Extract the snapshots before the client replaces the partition objects
+  // their DistVectors reference.
+  std::vector<std::vector<Vector>> saved;
+  saved.reserve(snapshots_.size());
+  for (const StateSnapshot& s : snapshots_) saved.push_back(s.gather_all());
+  client.repartition(failed);
+  const BlockRowPartition& np = cluster_->partition();
+  for (std::size_t i = 0; i < snapshots_.size(); ++i)
+    snapshots_[i].rebuild(np, saved[i]);
+}
+
+index_t ResilienceEngine::recover(const FailureEvent& event, index_t j_fail,
+                                  const Client& client,
+                                  RecoveryRecord& record) {
+  ESRP_CHECK(cluster_ != nullptr && client.state && client.restart);
+  if (on_failure_) on_failure_(event);
+  const std::span<const rank_t> failed = event.ranks;
+  record.failed_at = j_fail;
+
+  // Data loss: all dynamic data of the failed ranks disappears — the live
+  // vectors and scratch, the star snapshots, and every redundant copy the
+  // failed ranks were holding for other nodes. (The IMCR store models the
+  // holder loss through the surviving-buddy check.)
+  const SolverState st = client.state();
+  for (DistVector* v : st.vectors) v->zero_ranks(failed);
+  for (DistVector* v : st.scratch) v->zero_ranks(failed);
+  for (StateSnapshot& s : snapshots_) s.zero_ranks(failed);
+  queue_.drop_holders(failed);
+
+  const double t0 = cluster_->modeled_time();
+  bool recovered = false;
+  index_t resume = 0;
+
+  // With the default three-slot queue the copy pair for the target is
+  // always present; a two-slot queue (ablation) can have evicted it, in
+  // which case recovery falls through to the scratch restart below.
+  const RedundantCopy* prev = nullptr;
+  const RedundantCopy* cur = nullptr;
+  const index_t off = cfg_.pairing == CopyPairing::leading ? 1 : 0;
+  if (opts_.strategy == Strategy::esrp && last_recoverable_ >= 0) {
+    prev = queue_.find(last_recoverable_ - 1 + off);
+    cur = queue_.find(last_recoverable_ + off);
+  }
+  if (opts_.strategy == Strategy::esrp && prev && cur) {
+    const index_t target = last_recoverable_;
+    StateSnapshot* stars = find_snapshot(target);
+    ESRP_CHECK_MSG(stars != nullptr,
+                   "ESRP star snapshot missing for iteration " << target);
+    ESRP_CHECK(client.reconstruct);
+    if (client.reconstruct(*stars, *prev, *cur, failed, record)) {
+      resume = target;
+      recovered = true;
+    }
+  } else if (opts_.strategy == Strategy::imcr && checkpoint_ &&
+             checkpoint_->has_checkpoint()) {
+    if (checkpoint_->restore(failed, st, *cluster_)) {
+      resume = checkpoint_->tag();
+      recovered = true;
+    }
+  }
+
+  if (recovered && !opts_.spare_nodes) {
+    // No spare nodes (ref. [22]): surviving neighbors absorb the failed
+    // ranks' ranges; the solve continues on the repartitioned cluster.
+    repartition_with_snapshots(failed, client);
+  }
+
+  if (!recovered) {
+    // No recoverable redundant state: restart the solve from the beginning
+    // (the fate of an unprotected solver, paper §1). Without spares the
+    // restart also runs on the shrunken ownership map.
+    if (!opts_.spare_nodes) repartition_with_snapshots(failed, client);
+    client.restart();
+    queue_.clear();
+    snapshots_.clear();
+    last_recoverable_ = -1;
+    resume = 0;
+    record.restarted_from_scratch = true;
+  }
+
+  record.restored_to = resume;
+  record.wasted_iterations = j_fail - resume;
+  record.modeled_time = cluster_->modeled_time() - t0;
+  if (on_recovery_) on_recovery_(record);
+  return resume;
+}
+
+} // namespace esrp

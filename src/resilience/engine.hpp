@@ -1,0 +1,189 @@
+// The solver-agnostic resilience engine: everything a resilient distributed
+// solver needs besides its own recurrences. The engine owns
+//
+//   - the failure schedule (ResilienceOptions::failure + extra_failures),
+//     firing each event once at its iteration;
+//   - the ESRP strategy state: the redundancy queue of search-direction
+//     copies, the periodic storage-stage cadence (paper Alg. 3 lines 4-12)
+//     and the star-state snapshots the survivors roll back to;
+//   - the IMCR buddy checkpoint store;
+//   - recovery orchestration: data loss, reconstruction / restore /
+//     scratch-restart selection, the no-spare repartitioning path, and the
+//     RecoveryRecord + failure/recovery callback plumbing.
+//
+// A solver participates through the SolverState concept
+// (resilience/solver_state.hpp) plus a small Client of hooks for the steps
+// only it can perform: exposing its live state, reinitializing from
+// scratch, rebuilding its plans on a repartitioned cluster, and — for ESRP
+// — reconstructing the failed entries of a snapshot from two consecutive
+// redundant copies (the recurrence-specific math of Alg. 2 for classic PCG,
+// of reference [16] for pipelined PCG).
+//
+// The engine performs no floating-point work of its own and charges the
+// SimCluster only through the checkpoint store and whatever the client
+// hooks charge, so a solver rewired onto the engine keeps bitwise-identical
+// trajectories and modeled-time accounting (pinned by
+// tests/integration/fused_solver_parity_test).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "comm/exchange.hpp" // RedundantCopy
+#include "netsim/cluster.hpp"
+#include "netsim/failure.hpp"
+#include "resilience/checkpoint_store.hpp"
+#include "resilience/options.hpp"
+#include "resilience/redundancy_queue.hpp"
+#include "resilience/solver_state.hpp"
+
+namespace esrp {
+
+class ResilienceEngine {
+public:
+  /// Which redundant-copy tags the reconstruction of snapshot t consumes:
+  ///   trailing — copies (t-1, t). Classic CG: the p-update p^(j) =
+  ///              z^(j) + beta^(j-1) p^(j-1) yields z at the *newer* tag,
+  ///              so the stars are saved at the second storage iteration.
+  ///   leading  — copies (t, t+1). Pipelined CG (ref. [16]): the p-update
+  ///              p^(j+1) = u^(j) + beta^(j) p^(j) yields u at the *older*
+  ///              tag, so the stars are saved at the first storage
+  ///              iteration and become recoverable one iteration later.
+  enum class CopyPairing { trailing, leading };
+
+  struct Config {
+    /// Star-snapshot slots kept live. Classic needs 1; a leading pairing
+    /// with T = 1 needs 2 (iteration j makes snapshot j-1 recoverable
+    /// while snapshot j is already being captured).
+    std::size_t snapshot_slots = 1;
+    /// Extra per-snapshot scalar slots beyond the live SolverState scalars
+    /// (values only the recovery math needs, amended after capture via
+    /// set_snapshot_scalar — e.g. the pipelined beta^(t)).
+    std::size_t snapshot_extra_scalars = 0;
+    CopyPairing pairing = CopyPairing::trailing;
+    /// Shape of the SolverState presented to store_checkpoint / restore.
+    std::size_t checkpoint_vectors = 0;
+    std::size_t checkpoint_scalars = 0;
+  };
+
+  /// The solver-provided hooks recover() orchestrates.
+  struct Client {
+    /// Live dynamic state (also the zeroing target of a failure).
+    std::function<SolverState()> state;
+    /// Reinitialize the live state to iteration 0 (scratch restart).
+    std::function<void()> restart;
+    /// No-spare recovery: absorb the failed ranks' index ranges into their
+    /// surviving neighbors and rebuild every partition-dependent structure
+    /// (plans, live vectors). May be null when the solver rejects no-spare.
+    std::function<void(std::span<const rank_t>)> repartition;
+    /// ESRP: reconstruct the failed entries at snapshot `stars` from the
+    /// two consecutive redundant copies, roll the live state back to the
+    /// (repaired) snapshot, and fill the record's inner-iteration counts.
+    /// Returns false if a redundant copy did not survive.
+    std::function<bool(StateSnapshot& stars, const RedundantCopy& prev,
+                       const RedundantCopy& cur,
+                       std::span<const rank_t> failed, RecoveryRecord& record)>
+        reconstruct;
+  };
+
+  struct StoragePlan {
+    bool first_store = false;
+    bool second_store = false;
+    bool store() const { return first_store || second_store; }
+  };
+
+  /// Validates the failure schedule against `part` (ranks in range, at
+  /// least one survivor per event, pairwise distinct iterations) and the
+  /// interval/queue parameters; creates the IMCR store when the strategy
+  /// asks for one. Throws esrp::Error on invalid options.
+  ResilienceEngine(ResilienceOptions opts, const BlockRowPartition& part,
+                   Config cfg);
+
+  const ResilienceOptions& options() const { return opts_; }
+  Strategy strategy() const { return opts_.strategy; }
+  const std::vector<FailureEvent>& events() const { return events_; }
+
+  /// Reset the per-solve state (queue, snapshots, event bookkeeping) and
+  /// bind the cluster recoveries charge against. The IMCR checkpoint
+  /// deliberately persists across solves, like the pre-engine solver.
+  void begin_solve(SimCluster& cluster);
+
+  // --- failure schedule --------------------------------------------------
+  /// The first unfired event scheduled for iteration j, marked fired; null
+  /// if none. At most one event fires per loop pass — a second event at
+  /// the same re-executed iteration waits for the next pass.
+  const FailureEvent* pending_event(index_t j);
+
+  // --- ESRP storage stages -----------------------------------------------
+  /// The storage-stage cadence of Alg. 3: for T = 1 every iteration is a
+  /// (second) store; for T >= 2 iterations mT are first stores and mT+1
+  /// second stores. Empty plan for non-ESRP strategies.
+  StoragePlan storage_plan(index_t j) const;
+
+  void push_copy(RedundantCopy copy) { queue_.push(std::move(copy)); }
+  bool has_copy(index_t tag) const { return queue_.find(tag) != nullptr; }
+  std::vector<index_t> queue_tags() const { return queue_.tags(); }
+
+  /// Capture the star snapshot for iteration `tag` (evicting the oldest
+  /// beyond Config::snapshot_slots; re-capturing an existing tag replaces
+  /// it in place).
+  void save_snapshot(index_t tag, const SolverState& state);
+  bool has_snapshot(index_t tag) const { return find_snapshot(tag) != nullptr; }
+  /// Amend an extra scalar slot of snapshot `tag` (no-op if the snapshot
+  /// was already evicted).
+  void set_snapshot_scalar(index_t tag, std::size_t k, real_t v);
+
+  /// Declare iteration `tag` reconstructable: its snapshot and copy pair
+  /// are in place. recover() rolls back to the newest declared tag.
+  void set_recoverable(index_t tag) { last_recoverable_ = tag; }
+  index_t last_recoverable() const { return last_recoverable_; }
+
+  // --- IMCR checkpoints --------------------------------------------------
+  /// True when iteration j is a checkpoint iteration (j > 0, j % T == 0)
+  /// that has not been captured yet — the tag check skips re-checkpointing
+  /// identical state when the first iteration after a rollback is itself a
+  /// checkpoint iteration.
+  bool checkpoint_due(index_t j) const;
+  void store_checkpoint(index_t j, const SolverState& state);
+
+  // --- recovery ----------------------------------------------------------
+  /// Run the full §4 protocol for one event at iteration j_fail: fire the
+  /// failure callback, lose the failed ranks' dynamic data (live state,
+  /// snapshots, redundant copies), then recover by exact reconstruction
+  /// (ESRP), checkpoint restore (IMCR), or scratch restart — with the
+  /// no-spare repartitioning when configured — and fire the recovery
+  /// callback. Returns the iteration to resume from; `record` is filled
+  /// with the outcome (also appended via the recovery callback).
+  index_t recover(const FailureEvent& event, index_t j_fail,
+                  const Client& client, RecoveryRecord& record);
+
+  void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
+    on_failure_ = std::move(cb);
+  }
+  void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
+    on_recovery_ = std::move(cb);
+  }
+
+private:
+  const StateSnapshot* find_snapshot(index_t tag) const;
+  StateSnapshot* find_snapshot(index_t tag);
+  /// Gather the snapshots, run the client's repartition, and rebuild the
+  /// snapshots on the cluster's new partition.
+  void repartition_with_snapshots(std::span<const rank_t> failed,
+                                  const Client& client);
+
+  ResilienceOptions opts_;
+  Config cfg_;
+  SimCluster* cluster_ = nullptr; ///< bound by begin_solve
+  RedundancyQueue queue_;
+  std::vector<StateSnapshot> snapshots_; ///< oldest first
+  index_t last_recoverable_ = -1;
+  std::unique_ptr<CheckpointStore> checkpoint_;
+  std::vector<FailureEvent> events_; ///< merged failure + extra_failures
+  std::vector<bool> event_done_;
+  std::function<void(const FailureEvent&)> on_failure_;
+  std::function<void(const RecoveryRecord&)> on_recovery_;
+};
+
+} // namespace esrp

@@ -1,0 +1,24 @@
+#include "resilience/options.hpp"
+
+#include "common/error.hpp"
+
+namespace esrp {
+
+std::string to_string(Strategy s) {
+  switch (s) {
+    case Strategy::none: return "none";
+    case Strategy::esrp: return "esrp";
+    case Strategy::imcr: return "imcr";
+  }
+  return "?";
+}
+
+Strategy strategy_from_string(std::string_view name) {
+  if (name == "none") return Strategy::none;
+  if (name == "esrp") return Strategy::esrp;
+  if (name == "imcr") return Strategy::imcr;
+  throw Error("unknown strategy \"" + std::string(name) +
+              "\" (valid: none, esrp, imcr)");
+}
+
+} // namespace esrp

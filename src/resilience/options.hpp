@@ -1,0 +1,85 @@
+// Solver-agnostic resilience vocabulary: the strategy enum, the shared
+// options block every resilient solver consumes, and the per-recovery
+// record the engine hands back. Extracted from core/resilient_pcg.hpp so
+// that the classic and the pipelined distributed solvers (and any future
+// one) share one resilience surface instead of re-declaring subsets.
+//
+// Strategies (and where they live):
+//   none — no protection. A failure without recoverable redundant state
+//          restarts the solver from scratch (the fate of an unprotected
+//          solver, paper §1).
+//   esrp — exact state reconstruction with periodic storage (paper Alg. 2/3;
+//          extended to the pipelined recurrences per reference [16],
+//          Levonyak et al.). The ResilienceEngine (resilience/engine.hpp)
+//          owns the redundancy queue, the storage-stage cadence and the
+//          star-state snapshots; the recurrence-specific reconstruction math
+//          lives with each solver (core/reconstruction.hpp for classic PCG,
+//          pipelined/pipelined_esr.hpp for pipelined PCG).
+//   imcr — in-memory buddy checkpoint-restart every T iterations
+//          (resilience/checkpoint_store.hpp), generic over the solver's
+//          SolverState.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/reconstruction.hpp" // PrecondFormulation
+#include "netsim/failure.hpp"
+
+namespace esrp {
+
+enum class Strategy { none, esrp, imcr };
+
+std::string to_string(Strategy s);
+
+/// Inverse of to_string(Strategy): "none" | "esrp" | "imcr". Throws
+/// esrp::Error on anything else, naming the valid spellings.
+Strategy strategy_from_string(std::string_view name);
+
+struct ResilienceOptions {
+  Strategy strategy = Strategy::none;
+  index_t interval = 1;        ///< T, the checkpointing interval
+  int phi = 1;                 ///< redundant copies / supported failures
+  std::size_t queue_capacity = 3; ///< ESRP redundancy-queue slots
+  real_t rtol = 1e-8;          ///< convergence: ||r||_2 / ||b||_2 < rtol
+  index_t max_iterations = 200000; ///< cap on executed iteration bodies
+  real_t inner_rtol = 1e-14;   ///< reconstruction inner-solve tolerance
+  index_t inner_max_iterations = 0;
+  index_t inner_block_size = 10;
+  /// How the preconditioner enters Alg. 2 (paper reference [20]). The
+  /// matrix formulation needs Preconditioner::matrix_form() and skips the
+  /// P_{I_f,I_f} inner solve.
+  PrecondFormulation precond_formulation = PrecondFormulation::inverse;
+  /// With spare nodes (default, the paper's setting) the failed ranks act
+  /// as their own replacements. Without spares (paper §4 / reference [22],
+  /// ESRP only) the nearest surviving neighbors absorb the failed ranks'
+  /// index ranges after the reconstruction and the solve continues on the
+  /// repartitioned cluster; the retired ranks stay idle.
+  bool spare_nodes = true;
+  /// Periodically recompute r = b - A x explicitly every this many
+  /// iterations (0 = never). Residual replacement (the paper's reference
+  /// [27]) counters the drift between the recursive and the true residual
+  /// that the Eq. 2 metric measures.
+  index_t residual_replacement = 0;
+  FailureEvent failure; ///< convenience single event (paper §5 protocol)
+  /// Additional failure events. Each event fires once, at the first
+  /// execution of its iteration; events must have pairwise distinct
+  /// iterations. The paper injects exactly one event per run; multiple
+  /// events exercise repeated recoveries (redundancy is replenished by the
+  /// following storage stages / checkpoints).
+  std::vector<FailureEvent> extra_failures;
+};
+
+struct RecoveryRecord {
+  index_t failed_at = -1;      ///< iteration of the failure event
+  index_t restored_to = -1;    ///< iteration the solver resumed from
+  index_t wasted_iterations = 0; ///< failed_at - restored_to
+  double modeled_time = 0;     ///< modeled time of the recovery itself
+  index_t inner_iterations_precond = 0;
+  index_t inner_iterations_matrix = 0;
+  bool restarted_from_scratch = false; ///< no recoverable state existed
+};
+
+} // namespace esrp

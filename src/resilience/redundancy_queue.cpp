@@ -1,4 +1,4 @@
-#include "core/redundancy_queue.hpp"
+#include "resilience/redundancy_queue.hpp"
 
 #include <algorithm>
 

@@ -143,22 +143,45 @@ TEST(SolveSpecValidation, SequentialSolversCannotTakeFailures) {
   expect_invalid(spec, "sequential");
 }
 
-TEST(SolveSpecValidation, DistPipelinedTakesAtMostOneFailure) {
+TEST(SolveSpecValidation, DistPipelinedTakesMultiEventSchedulesAndEsrp) {
   SolveSpec spec = distributed_spec();
   spec.solver = "dist-pipelined";
   spec.failures.push_back(FailureEvent{10, {0}});
-  EXPECT_NO_THROW(validate_spec(spec));
   spec.failures.push_back(FailureEvent{20, {1}});
-  expect_invalid(spec, "at most 1 failure event");
-}
-
-TEST(SolveSpecValidation, DistPipelinedRejectsEsrpStrategy) {
-  SolveSpec spec = distributed_spec();
-  spec.solver = "dist-pipelined";
+  EXPECT_NO_THROW(validate_spec(spec));
   spec.strategy = Strategy::esrp;
-  expect_invalid(spec, "none and imcr only");
+  EXPECT_NO_THROW(validate_spec(spec));
   spec.strategy = Strategy::imcr;
   EXPECT_NO_THROW(validate_spec(spec));
+}
+
+TEST(SolveSpecValidation, NoSpareRecoveryNeedsACapableSolver) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "resilient-pcg";
+  spec.strategy = Strategy::esrp;
+  spec.spare_nodes = false;
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.solver = "dist-pipelined";
+  expect_invalid(spec, "does not support no-spare recovery");
+}
+
+TEST(SolveSpecValidation, NoSpareRecoveryNeedsEsrpStrategy) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "resilient-pcg";
+  spec.spare_nodes = false;
+  for (Strategy s : {Strategy::none, Strategy::imcr}) {
+    spec.strategy = s;
+    expect_invalid(spec, "only defined for the esrp strategy");
+  }
+}
+
+TEST(SolveSpecValidation, ResidualReplacementNeedsACapableSolver) {
+  SolveSpec spec = distributed_spec();
+  spec.solver = "resilient-pcg";
+  spec.residual_replacement = 10;
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.solver = "dist-pipelined";
+  expect_invalid(spec, "does not implement residual replacement");
 }
 
 TEST(SolveSpecValidation, DistPipelinedRejectsInitialGuess) {

@@ -136,12 +136,35 @@ TEST(DistPipelined, FailureWithoutCheckpointRestarts) {
   EXPECT_TRUE(res.recoveries[0].restarted_from_scratch);
 }
 
-TEST(DistPipelined, EsrpStrategyRejected) {
+TEST(DistPipelined, NoSpareRecoveryRejected) {
+  // ESRP itself is supported (tests/pipelined/dist_pipelined_esrp_test.cpp);
+  // the no-spare repartitioning path is not defined for the pipelined plans.
   System s(poisson2d(6, 6), 4);
   SimCluster cluster(s.part);
   BlockJacobiPreconditioner precond(s.a, s.part, 10);
   DistPipelinedOptions opts;
   opts.strategy = Strategy::esrp;
+  opts.spare_nodes = false;
+  EXPECT_THROW(DistPipelinedPcg(s.a, precond, cluster, opts), Error);
+}
+
+TEST(DistPipelined, ResidualReplacementRejected) {
+  System s(poisson2d(6, 6), 4);
+  SimCluster cluster(s.part);
+  BlockJacobiPreconditioner precond(s.a, s.part, 10);
+  DistPipelinedOptions opts;
+  opts.residual_replacement = 10;
+  EXPECT_THROW(DistPipelinedPcg(s.a, precond, cluster, opts), Error);
+}
+
+TEST(DistPipelined, DuplicateEventIterationsRejected) {
+  System s(poisson2d(6, 6), 4);
+  SimCluster cluster(s.part);
+  BlockJacobiPreconditioner precond(s.a, s.part, 10);
+  DistPipelinedOptions opts;
+  opts.failure.iteration = 5;
+  opts.failure.ranks = {0};
+  opts.extra_failures.push_back(FailureEvent{5, {1}});
   EXPECT_THROW(DistPipelinedPcg(s.a, precond, cluster, opts), Error);
 }
 

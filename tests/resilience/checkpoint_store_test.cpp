@@ -1,4 +1,4 @@
-#include "core/checkpoint_store.hpp"
+#include "resilience/checkpoint_store.hpp"
 
 #include <gtest/gtest.h>
 
@@ -24,19 +24,29 @@ protected:
         z_(part_, random_vector(24, 3)),
         p_(part_, random_vector(24, 4)) {}
 
+  /// The classic solver's state shape: {x, r, z, p} + beta.
+  SolverState state(real_t& beta) {
+    return SolverState{{&x_, &r_, &z_, &p_}, {}, {&beta}};
+  }
+  static SolverState state_of(DistVector& x, DistVector& r, DistVector& z,
+                              DistVector& p, real_t& beta) {
+    return SolverState{{&x, &r, &z, &p}, {}, {&beta}};
+  }
+
   BlockRowPartition part_;
   SimCluster cluster_;
   DistVector x_, r_, z_, p_;
 };
 
 TEST_F(CheckpointFixture, StartsWithoutCheckpoint) {
-  CheckpointStore store(part_, 1);
+  CheckpointStore store(part_, 1, 4, 1);
   EXPECT_FALSE(store.has_checkpoint());
 }
 
 TEST_F(CheckpointFixture, StoreChargesPhiBuddyMessagesPerNode) {
-  CheckpointStore store(part_, 2);
-  store.store(10, x_, r_, z_, p_, 0.5, cluster_);
+  CheckpointStore store(part_, 2, 4, 1);
+  real_t beta = 0.5;
+  store.store(10, state(beta), cluster_);
   EXPECT_TRUE(store.has_checkpoint());
   EXPECT_EQ(store.tag(), 10);
   const auto& tot = cluster_.ledger().totals(CommCategory::checkpoint);
@@ -45,34 +55,49 @@ TEST_F(CheckpointFixture, StoreChargesPhiBuddyMessagesPerNode) {
   EXPECT_EQ(tot.bytes, (4u * 4u + 1u) * 8u * 6u * 2u);
 }
 
+TEST_F(CheckpointFixture, MessageBytesScaleWithTheStateShape) {
+  // The pipelined solver's shape: 8 recurrence vectors + 2 scalars.
+  std::vector<DistVector> vecs(8, DistVector(part_));
+  real_t gamma = 0.25, alpha = 0.75;
+  SolverState st;
+  for (DistVector& v : vecs) st.vectors.push_back(&v);
+  st.scalars = {&gamma, &alpha};
+  CheckpointStore store(part_, 1, 8, 2);
+  store.store(3, st, cluster_);
+  const auto& tot = cluster_.ledger().totals(CommCategory::checkpoint);
+  EXPECT_EQ(tot.bytes, (8u * 4u + 2u) * 8u * 6u * 1u);
+}
+
 TEST_F(CheckpointFixture, RestoreRecoversExactState) {
-  CheckpointStore store(part_, 1);
-  store.store(5, x_, r_, z_, p_, 0.25, cluster_);
+  CheckpointStore store(part_, 1, 4, 1);
+  real_t beta0 = 0.25;
+  store.store(5, state(beta0), cluster_);
   const Vector x_snapshot = x_.gather_global();
 
   // Mutate and damage the live state.
   DistVector x2(part_, random_vector(24, 9)), r2(part_), z2(part_), p2(part_);
   const std::vector<rank_t> failed{2};
   real_t beta = -1;
-  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  ASSERT_TRUE(store.restore(failed, state_of(x2, r2, z2, p2, beta), cluster_));
   EXPECT_EQ(x2.gather_global(), x_snapshot);
   EXPECT_EQ(r2.gather_global(), r_.gather_global());
   EXPECT_DOUBLE_EQ(beta, 0.25);
 }
 
 TEST_F(CheckpointFixture, RestoreChargesOneRecoveryMessagePerFailedRank) {
-  CheckpointStore store(part_, 3);
-  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  CheckpointStore store(part_, 3, 4, 1);
+  real_t beta0 = 0;
+  store.store(5, state(beta0), cluster_);
   cluster_.reset_accounting();
   DistVector x2(part_), r2(part_), z2(part_), p2(part_);
   real_t beta = 0;
   const std::vector<rank_t> failed{1, 2};
-  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  ASSERT_TRUE(store.restore(failed, state_of(x2, r2, z2, p2, beta), cluster_));
   EXPECT_EQ(cluster_.ledger().totals(CommCategory::recovery).messages, 2u);
 }
 
 TEST_F(CheckpointFixture, SurvivingBuddyPrefersNearestRingNeighbor) {
-  CheckpointStore store(part_, 3);
+  CheckpointStore store(part_, 3, 4, 1);
   const std::vector<rank_t> nobody;
   EXPECT_EQ(store.surviving_buddy(2, nobody), 3); // d(2,1) = 3
   const std::vector<rank_t> right_failed{3};
@@ -80,21 +105,23 @@ TEST_F(CheckpointFixture, SurvivingBuddyPrefersNearestRingNeighbor) {
 }
 
 TEST_F(CheckpointFixture, AllBuddiesFailedIsUnrecoverable) {
-  CheckpointStore store(part_, 1); // single buddy: d(s,1) = s+1
-  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  CheckpointStore store(part_, 1, 4, 1); // single buddy: d(s,1) = s+1
+  real_t beta0 = 0;
+  store.store(5, state(beta0), cluster_);
   DistVector x2(part_), r2(part_), z2(part_), p2(part_);
   real_t beta = 0;
   // Fail both node 2 and its only buddy 3: restore must refuse.
   const std::vector<rank_t> failed{2, 3};
-  EXPECT_FALSE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  EXPECT_FALSE(store.restore(failed, state_of(x2, r2, z2, p2, beta), cluster_));
 }
 
 TEST_F(CheckpointFixture, ContiguousBlockOfPhiFailuresIsRecoverable) {
   // phi buddies span a ring interval of length phi+1, so a contiguous block
   // of psi = phi failures always leaves each node a surviving buddy.
   const int phi = 3;
-  CheckpointStore store(part_, phi);
-  store.store(5, x_, r_, z_, p_, 0.0, cluster_);
+  CheckpointStore store(part_, phi, 4, 1);
+  real_t beta0 = 0;
+  store.store(5, state(beta0), cluster_);
   for (rank_t start = 0; start < part_.num_nodes(); ++start) {
     const auto failed = contiguous_ranks(start, phi, part_.num_nodes());
     for (rank_t f : failed)
@@ -104,15 +131,17 @@ TEST_F(CheckpointFixture, ContiguousBlockOfPhiFailuresIsRecoverable) {
 }
 
 TEST_F(CheckpointFixture, NewerStoreOverwritesOlder) {
-  CheckpointStore store(part_, 1);
-  store.store(5, x_, r_, z_, p_, 0.5, cluster_);
+  CheckpointStore store(part_, 1, 4, 1);
+  real_t beta0 = 0.5;
+  store.store(5, state(beta0), cluster_);
   DistVector x_new(part_, random_vector(24, 77));
-  store.store(8, x_new, r_, z_, p_, 0.75, cluster_);
+  real_t beta1 = 0.75;
+  store.store(8, state_of(x_new, r_, z_, p_, beta1), cluster_);
   EXPECT_EQ(store.tag(), 8);
   DistVector x2(part_), r2(part_), z2(part_), p2(part_);
   real_t beta = 0;
   const std::vector<rank_t> failed{0};
-  ASSERT_TRUE(store.restore(failed, x2, r2, z2, p2, beta, cluster_));
+  ASSERT_TRUE(store.restore(failed, state_of(x2, r2, z2, p2, beta), cluster_));
   EXPECT_EQ(x2.gather_global(), x_new.gather_global());
   EXPECT_DOUBLE_EQ(beta, 0.75);
 }

@@ -1,5 +1,5 @@
 // Queue-semantics tests, including a replay of the Fig. 1 timeline.
-#include "core/redundancy_queue.hpp"
+#include "resilience/redundancy_queue.hpp"
 
 #include <gtest/gtest.h>
 

@@ -50,8 +50,8 @@ constexpr OptionSpec kOptions[] = {
      "                    (default block-jacobi; see --list)"},
     {"--nodes", "N", "simulated cluster size (default 128)"},
     {"--strategy", "S",
-     "none | esrp | imcr  (default esrp for\n"
-     "                    resilient-pcg, none otherwise)"},
+     "none | esrp | imcr  (default esrp for the\n"
+     "                    distributed solvers, none otherwise)"},
     {"--interval", "T", "checkpoint interval (default 20; 1=ESR)"},
     {"--phi", "P", "redundant copies (default 1)"},
     {"--rtol", "X", "convergence tolerance (default 1e-8)"},
@@ -62,7 +62,8 @@ constexpr OptionSpec kOptions[] = {
     {"--threads", "N",
      "kernel threads (default $ESRP_NUM_THREADS or 1;\n"
      "                    0 = all hardware threads)"},
-    {"--no-spares", nullptr, "recover onto survivors (ESRP only)"},
+    {"--no-spares", nullptr,
+     "recover onto survivors (resilient-pcg ESRP only)"},
     {"--list", nullptr, "print the registered solvers, preconditioners,\n"
                         "                    and matrix generators, then exit"},
     {"--quiet", nullptr, "machine-readable one-line output"},
@@ -94,8 +95,40 @@ void print_registry(const Registry& reg, const char* heading) {
     std::printf("  %-15s %s\n", key.c_str(), reg.help(key).c_str());
 }
 
+/// One capability line per solver, straight from the registry's
+/// SolverEntry flags — the same flags validate_spec enforces, so what
+/// --list prints is exactly what a spec may ask for.
+void print_solver_registry() {
+  std::printf("solvers:\n");
+  for (const std::string& key : solver_registry().keys()) {
+    const SolverEntry& e = solver_registry().get(key);
+    std::printf("  %-15s %s\n", key.c_str(),
+                solver_registry().help(key).c_str());
+    std::string caps;
+    if (!e.distributed) {
+      caps = "sequential; no failure injection";
+    } else {
+      caps = "strategies: none";
+      if (e.supports_esrp) caps += ", esrp";
+      caps += ", imcr";
+      caps += "; failures: ";
+      if (e.max_failure_events == 0) {
+        caps += "none";
+      } else if (e.max_failure_events == 1) {
+        caps += "single event";
+      } else {
+        caps += "multi-event";
+      }
+      caps += e.supports_no_spare ? "; no-spare recovery" : "; spares only";
+      if (!e.supports_residual_replacement) caps += "; no residual replacement";
+    }
+    if (!e.supports_x0) caps += "; no initial guess (x0)";
+    std::printf("  %-15s   [%s]\n", "", caps.c_str());
+  }
+}
+
 [[noreturn]] void list_registries() {
-  print_registry(solver_registry(), "solvers");
+  print_solver_registry();
   print_registry(precond_registry(), "preconditioners");
   print_registry(matrix_registry(), "matrices");
   std::exit(0);
@@ -176,6 +209,16 @@ int main(int argc, char** argv) {
   spec.rtol = std::atof(get("--rtol", "1e-8").c_str());
   spec.block_size = std::atol(get("--block-size", "10").c_str());
   spec.spare_nodes = !no_spares;
+
+  // Unsupported solver/strategy/no-spare combinations are usage errors
+  // (exit 2) with the registry's capability message, caught before any
+  // expensive work — same spirit as the "did you mean" key hints above.
+  // (The failure schedule is validated again inside esrp::solve.)
+  try {
+    validate_spec(spec);
+  } catch (const Error& e) {
+    usage(e.what());
+  }
 
   // Generator-built matrices resolve at flag time, so malformed dimension
   // arguments stay usage errors (exit 2) like unknown keys. Matrix Market

@@ -7,6 +7,13 @@
 #   tools/run_benches.sh --build-dir build-debug
 #   tools/run_benches.sh --threads 4         # kernel threads per bench
 #                                            # (0 = all hardware threads)
+#   tools/run_benches.sh --baseline BENCH_<stamp>.json
+#                                            # compare against a previous
+#                                            # snapshot: prints per-bench
+#                                            # real-time deltas; a >15%
+#                                            # regression on a fused-kernel
+#                                            # measurement (name matching
+#                                            # /Fused/) is a SUMMARY FAIL
 #
 # Results go to bench_results/<UTC timestamp>/<bench>.log, and a summary of
 # exit codes to bench_results/<UTC timestamp>/SUMMARY. A machine-readable
@@ -20,12 +27,20 @@ set -euo pipefail
 repo_root=$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")/.." && pwd)
 build_dir="$repo_root/build"
 list_only=0
+baseline=""
 only=()
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --list) list_only=1; shift ;;
     --build-dir) build_dir="$2"; shift 2 ;;
+    --baseline)
+      baseline="$2"
+      if [[ ! -f "$baseline" ]]; then
+        echo "--baseline: no such snapshot: $baseline" >&2
+        exit 2
+      fi
+      shift 2 ;;
     --threads)
       # The kernels read ESRP_NUM_THREADS at startup (src/parallel), so a
       # plain env export configures every bench binary uniformly.
@@ -38,7 +53,7 @@ while [[ $# -gt 0 ]]; do
         exit 2
       fi
       ;;
-    -h|--help) sed -n '2,15p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,22p' "$0"; exit 0 ;;
     *) echo "unknown option: $1 (try --help)" >&2; exit 2 ;;
   esac
 done
@@ -141,6 +156,55 @@ bench_json="$repo_root/BENCH_$stamp.json"
   echo '}'
 } > "$bench_json"
 echo "perf snapshot: $bench_json"
+
+# Baseline compare: per-measurement real-time deltas against a previous
+# BENCH_<stamp>.json. Only the fused-kernel measurements (BM_*Fused*) gate
+# the run — they guard the PR 4 fusion wins — and only regressions beyond
+# 15% fail; everything else is informational (timings on shared runners are
+# noisy, which is also why the CI hook runs this step as non-blocking).
+if [[ -n "$baseline" ]]; then
+  echo "--- baseline compare: $(basename "$baseline") -> $(basename "$bench_json")"
+  regress_tmp=$(mktemp)
+  awk -v regress_file="$regress_tmp" '
+    FNR == 1 { file_idx++ }
+    /"name": ".*"real_time":/ {
+      line = $0
+      split(line, q, "\"")
+      name = q[4]
+      sub(/.*"real_time": /, "", line)
+      sub(/,.*/, "", line)
+      t = line + 0
+      if (file_idx == 1) {
+        base[name] = t
+      } else if (!(name in cur)) {
+        cur[name] = t
+        order[++n] = name
+      }
+    }
+    END {
+      printf "%-52s %14s %14s %9s\n", "benchmark", "baseline", "current", "delta"
+      for (k = 1; k <= n; ++k) {
+        name = order[k]
+        if (!(name in base) || base[name] == 0) {
+          printf "%-52s %14s %14.2f %9s\n", name, "-", cur[name], "new"
+          continue
+        }
+        delta = 100 * (cur[name] - base[name]) / base[name]
+        printf "%-52s %14.2f %14.2f %+8.1f%%\n", name, base[name], cur[name], delta
+        if (name ~ /Fused/ && delta > 15)
+          printf "%s %+0.1f%%\n", name, delta >> regress_file
+      }
+    }' "$baseline" "$bench_json"
+  if [[ -s "$regress_tmp" ]]; then
+    while read -r name delta; do
+      echo "FAIL bench-compare ($name regressed $delta vs baseline, limit +15%)" | tee -a "$out_dir/SUMMARY"
+    done < "$regress_tmp"
+    status=1
+  else
+    echo "PASS bench-compare" >> "$out_dir/SUMMARY"
+  fi
+  rm -f "$regress_tmp"
+fi
 
 # Belt and braces: derive the exit code from the SUMMARY itself in addition
 # to the loop's status flag, so any FAIL line guarantees a nonzero exit even
