@@ -130,6 +130,10 @@ struct SolverEntry {
   bool supports_residual_replacement = true;
   /// Whether a non-empty SolveSpec::x0 initial guess is honored.
   bool supports_x0 = true;
+  /// Whether SDC injection (SolveSpec::sdc_events) is implemented. Requires
+  /// the residual-replacement machinery for detection, so only
+  /// "resilient-pcg" qualifies today.
+  bool supports_sdc = false;
 };
 
 Registry<SolverEntry>& solver_registry();

@@ -12,6 +12,7 @@
 #include "parallel/parallel.hpp"
 #include "pipelined/dist_pipelined_pcg.hpp"
 #include "pipelined/pipelined_pcg.hpp"
+#include "scenario/cluster_shape.hpp"
 #include "solver/pcg.hpp"
 #include "xp/experiment.hpp"
 
@@ -116,10 +117,17 @@ CostParams cluster_cost(const SolveContext& ctx) {
                                   : CostParams{};
 }
 
+/// Base cost parameters shaped by the spec's cluster-shape key (empty =
+/// homogeneous, charging bitwise identically to the plain CostParams path).
+HeterogeneousCostModel cluster_model(const SolveContext& ctx) {
+  return resolve_cluster_shape(ctx.spec.cluster_shape, cluster_cost(ctx),
+                               ctx.spec.nodes);
+}
+
 SolveReport run_resilient(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
   const BlockRowPartition part(ctx.a.rows(), spec.nodes);
-  SimCluster cluster(part, cluster_cost(ctx));
+  SimCluster cluster(part, cluster_model(ctx));
   const auto precond = make_precond(ctx, &part);
 
   ResilienceOptions opts;
@@ -133,6 +141,8 @@ SolveReport run_resilient(const SolveContext& ctx) {
   opts.spare_nodes = spec.spare_nodes;
   opts.residual_replacement = spec.residual_replacement;
   opts.extra_failures = spec.failures;
+  opts.sdc_events = spec.sdc_events;
+  opts.sdc_threshold = spec.sdc_threshold;
 
   ResilientPcg solver(ctx.a, *precond, cluster, opts);
   if (SolverObserver* obs = ctx.observer) {
@@ -142,6 +152,15 @@ SolveReport run_resilient(const SolveContext& ctx) {
         [obs](const FailureEvent& e) { obs->on_failure(e); });
     solver.set_recovery_callback(
         [obs](const RecoveryRecord& rec) { obs->on_recovery(rec); });
+    // SDC injections surface as on_failure events with cause = sdc, so one
+    // observer hook sees the full fault timeline.
+    solver.set_sdc_callback([obs](const SdcRecord& rec) {
+      FailureEvent e;
+      e.iteration = rec.event.iteration;
+      e.ranks = {rec.rank};
+      e.cause = FailureCause::sdc;
+      obs->on_failure(e);
+    });
   }
   ResilientSolveResult res = solver.solve(ctx.b, spec.x0);
 
@@ -153,6 +172,7 @@ SolveReport run_resilient(const SolveContext& ctx) {
   report.modeled_time = res.modeled_time;
   report.wall_seconds = res.wall_seconds;
   report.recoveries = std::move(res.recoveries);
+  report.sdc = std::move(res.sdc);
   report.x = std::move(res.x);
   report.r = std::move(res.r);
   finish_distributed(ctx, report);
@@ -162,7 +182,7 @@ SolveReport run_resilient(const SolveContext& ctx) {
 SolveReport run_dist_pipelined(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
   const BlockRowPartition part(ctx.a.rows(), spec.nodes);
-  SimCluster cluster(part, cluster_cost(ctx));
+  SimCluster cluster(part, cluster_model(ctx));
   const auto precond = make_precond(ctx, &part);
 
   DistPipelinedOptions opts;
@@ -221,7 +241,8 @@ Registry<SolverEntry>& solver_registry() {
                        .distributed = true,
                        .max_failure_events = SIZE_MAX,
                        .supports_esrp = true,
-                       .supports_no_spare = true});
+                       .supports_no_spare = true,
+                       .supports_sdc = true});
     r->add("dist-pipelined",
            "distributed pipelined PCG (communication hiding) with "
            "ESRP/IMCR recovery (ref. [16])",

@@ -2,6 +2,7 @@
 
 #include "api/registry.hpp"
 #include "common/error.hpp"
+#include "scenario/cluster_shape.hpp"
 
 namespace esrp {
 
@@ -63,6 +64,8 @@ void validate_spec(const SolveSpec& spec) {
   if (spec.queue_capacity < 1) invalid("queue_capacity must be >= 1");
   if (spec.residual_replacement < 0)
     invalid("residual_replacement must be >= 0");
+  if (!(spec.sdc_threshold > 0)) invalid("sdc_threshold must be positive");
+  check_cluster_shape_key(spec.cluster_shape); // "" = homogeneous
   if (spec.threads < -1)
     invalid("threads must be -1 (keep), 0 (hardware), or a positive count");
   if (!(spec.ssor_omega > 0 && spec.ssor_omega < 2))
@@ -116,9 +119,30 @@ void validate_spec(const SolveSpec& spec) {
       invalid("\"" + spec.solver +
               "\" does not implement residual replacement "
               "(residual_replacement > 0); use \"resilient-pcg\"");
+    if (!spec.sdc_events.empty() && !solver.supports_sdc)
+      invalid("\"" + spec.solver +
+              "\" does not implement SDC injection (sdc_events); use "
+              "\"resilient-pcg\"");
+    for (std::size_t i = 0; i < spec.sdc_events.size(); ++i) {
+      const SdcEvent& e = spec.sdc_events[i];
+      if (!e.enabled())
+        invalid("SDC event " + std::to_string(i) +
+                " is not fully specified (needs iteration >= 0)");
+      if (e.target != "p" && e.target != "x" && e.target != "r")
+        invalid("SDC event target must be p, x, or r, got \"" + e.target +
+                "\"");
+      if (e.bit < 0 || e.bit >= 64)
+        invalid("SDC event bit " + std::to_string(e.bit) +
+                " outside [0, 64)");
+      if (e.index < 0)
+        invalid("SDC event entry index must be >= 0");
+    }
   } else if (!spec.failures.empty()) {
     invalid("solver \"" + spec.solver +
             "\" is sequential and cannot inject node failures");
+  } else if (!spec.sdc_events.empty()) {
+    invalid("solver \"" + spec.solver +
+            "\" is sequential and cannot inject silent data corruptions");
   }
   if (!spec.x0.empty() && !solver.supports_x0)
     invalid("\"" + spec.solver + "\" does not honor an initial guess (x0)");

@@ -60,6 +60,12 @@ struct SolveSpec {
   /// Use xp::calibrated_cost (the paper-regime cost model) instead of the
   /// physical-default CostParams.
   bool calibrated_cost = true;
+  /// Cluster-shape registry key (scenario/cluster_shape.hpp):
+  /// "homogeneous", "straggler:count=2,factor=4",
+  /// "slow-rack:start=0,count=4,factor=8", "slow-links:factor=2".
+  /// Empty = homogeneous. Shapes change accounting only — the
+  /// floating-point trajectory is identical on every shape.
+  std::string cluster_shape;
 
   // --- resilience (distributed solvers only) ---------------------------
   Strategy strategy = Strategy::none;
@@ -75,6 +81,15 @@ struct SolveSpec {
   /// distinct iterations. Both distributed solvers support multi-event
   /// schedules (redundancy is replenished by later storage stages).
   std::vector<FailureEvent> failures;
+
+  /// Silent-data-corruption schedule ("resilient-pcg" only): each event
+  /// flips one bit of one vector entry at its iteration. Detection rides
+  /// on residual replacement — pair with residual_replacement > 0 or the
+  /// flips stay (honestly reported as) undetected.
+  std::vector<SdcEvent> sdc_events;
+  /// Relative recursive-vs-recomputed residual-norm gap above which a
+  /// residual-replacement step flags a corruption.
+  real_t sdc_threshold = 1e-3;
 
   // --- execution -------------------------------------------------------
   /// Kernel threads for this solve: -1 = keep the current global setting,
@@ -104,6 +119,7 @@ struct SolveReport {
   double wall_seconds = 0; ///< host wall time (reference only)
 
   std::vector<RecoveryRecord> recoveries;
+  std::vector<SdcRecord> sdc; ///< one record per injected bit-flip
   Vector x; ///< solution
   Vector r; ///< recursive residual (distributed solvers; for Eq. 2)
   real_t drift = 0;       ///< residual drift (paper Eq. 2), when r is known

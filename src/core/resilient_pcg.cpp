@@ -1,6 +1,8 @@
 #include "core/resilient_pcg.hpp"
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/fused.hpp"
@@ -81,6 +83,17 @@ ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
   ESRP_CHECK(precond.dim() == a.rows());
   ESRP_CHECK(opts.rtol > 0 && opts.inner_rtol > 0);
   ESRP_CHECK(opts_.residual_replacement >= 0);
+  ESRP_CHECK(opts_.sdc_threshold > 0);
+  for (const SdcEvent& e : opts_.sdc_events) {
+    if (!e.enabled()) continue;
+    ESRP_CHECK_MSG(e.target == "p" || e.target == "x" || e.target == "r",
+                   "SDC target must be p, x, or r, got '" << e.target << "'");
+    ESRP_CHECK_MSG(e.index >= 0 && e.index < a.rows(),
+                   "SDC entry " << e.index << " outside [0, " << a.rows()
+                                << ")");
+    ESRP_CHECK_MSG(e.bit >= 0 && e.bit < 64,
+                   "SDC bit " << e.bit << " outside [0, 64)");
+  }
   build_precond_blocks();
 }
 
@@ -302,6 +315,32 @@ bool ResilientPcg::reconstruct_lost(StateSnapshot& stars,
   return true;
 }
 
+void ResilientPcg::inject_sdc(index_t j, ResilientSolveResult& result) {
+  static_assert(sizeof(real_t) == sizeof(std::uint64_t),
+                "bit-flip injection assumes 64-bit reals");
+  for (std::size_t k = 0; k < opts_.sdc_events.size(); ++k) {
+    const SdcEvent& e = opts_.sdc_events[k];
+    if (sdc_fired_[k] || !e.enabled() || e.iteration != j) continue;
+    sdc_fired_[k] = 1;
+    const BlockRowPartition& cp = cluster_->partition();
+    DistVector* v = e.target == "x" ? x_.get()
+                    : e.target == "r" ? r_.get()
+                                      : p_.get();
+    const rank_t owner = cp.owner(e.index);
+    const index_t loc = cp.to_local(e.index);
+    auto slice = v->local(owner);
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &slice[static_cast<std::size_t>(loc)], sizeof bits);
+    bits ^= std::uint64_t{1} << e.bit;
+    std::memcpy(&slice[static_cast<std::size_t>(loc)], &bits, sizeof bits);
+    SdcRecord rec;
+    rec.event = e;
+    rec.rank = owner;
+    result.sdc.push_back(rec);
+    if (sdc_callback_) sdc_callback_(rec);
+  }
+}
+
 ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
                                          std::span<const real_t> x0) {
   const BlockRowPartition& part = cluster_->partition();
@@ -321,6 +360,7 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
   ap_ = std::make_unique<DistVector>(part);
   resilience_.begin_solve(*cluster_);
   beta_dstar_ = 0;
+  sdc_fired_.assign(opts_.sdc_events.size(), 0);
 
   // The SolverState contract plus the classic-recurrence hooks the engine
   // orchestrates on a failure.
@@ -400,6 +440,11 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
       continue;
     }
 
+    // --- SDC injection (scenario lab): the flip lands after the SpMV, so
+    // a corrupted p desynchronizes the x update from the r update and the
+    // damage is observable as recursive-vs-true residual drift. ---
+    if (!opts_.sdc_events.empty()) inject_sdc(j, result);
+
     // --- CG updates (Alg. 3 lines 13-18) ---
     const real_t pap = dot(*p_, *ap_);
     ESRP_CHECK_MSG(pap > 0, "p^T A p <= 0 at iteration " << j);
@@ -437,7 +482,24 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
       apply_precond(*r_, *z_);
       const auto [rz_new, rr_new] = dot2(*r_, *z_, *r_, *r_);
       rz = rz_new;
+      const real_t rnorm_recursive = rnorm;
       rnorm = std::sqrt(rr_new);
+      // SDC detection: a large relative gap between the recursive residual
+      // norm and the freshly recomputed one means the recurrences and the
+      // true state disagree — the signature of a bit-flip. Benign drift
+      // (Eq. 2 of the paper) is orders of magnitude below the threshold.
+      if (!result.sdc.empty()) {
+        const real_t gap = std::abs(rnorm_recursive - rnorm) /
+                           std::max(rnorm, real_t{1e-300});
+        for (SdcRecord& rec : result.sdc) {
+          if (rec.detected) continue;
+          rec.discrepancy = std::max(rec.discrepancy, gap);
+          if (gap > opts_.sdc_threshold) {
+            rec.detected = true;
+            rec.detected_at = j;
+          }
+        }
+      }
     }
     cluster_->complete_step();
 

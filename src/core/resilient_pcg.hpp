@@ -51,6 +51,7 @@ struct ResilientSolveResult {
   double modeled_time = 0;           ///< cluster modeled time of this solve
   double wall_seconds = 0;           ///< host wall time (reference only)
   std::vector<RecoveryRecord> recoveries;
+  std::vector<SdcRecord> sdc;        ///< one record per injected bit-flip
   Vector x; ///< gathered solution
   Vector r; ///< gathered recursive residual (for the drift metric, Eq. 2)
 };
@@ -92,6 +93,11 @@ public:
   void set_recovery_callback(std::function<void(const RecoveryRecord&)> cb) {
     resilience_.set_recovery_callback(std::move(cb));
   }
+  /// Invoked when an SdcEvent fires (the bit has just been flipped; the
+  /// record's detection fields are filled in later as checks run).
+  void set_sdc_callback(std::function<void(const SdcRecord&)> cb) {
+    sdc_callback_ = std::move(cb);
+  }
 
   const ResilienceOptions& options() const { return opts_; }
   const SpmvPlan& spmv_plan() const { return *plan_; }
@@ -122,6 +128,10 @@ private:
   void apply_precond(const DistVector& r, DistVector& z);
 
   void initialize_state(std::span<const real_t> b, std::span<const real_t> x0);
+
+  /// Fire any not-yet-injected SdcEvent scheduled for iteration `j`:
+  /// flip the bit in the owner's slice and append a record to `result`.
+  void inject_sdc(index_t j, ResilientSolveResult& result);
 
   /// The SolverState contract with the resilience engine: live vectors
   /// {x, r, z, p}, scratch {ap}, scalars {beta}.
@@ -160,6 +170,8 @@ private:
 
   IterationHook hook_;
   std::function<void(index_t, real_t)> progress_;
+  std::function<void(const SdcRecord&)> sdc_callback_;
+  std::vector<char> sdc_fired_; ///< one-shot flags, parallel to sdc_events
 };
 
 } // namespace esrp

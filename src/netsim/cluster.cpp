@@ -7,7 +7,11 @@
 namespace esrp {
 
 SimCluster::SimCluster(const BlockRowPartition& part, CostParams cost)
-    : part_(&part), cost_(cost),
+    : SimCluster(part, HeterogeneousCostModel(cost)) {}
+
+SimCluster::SimCluster(const BlockRowPartition& part,
+                       HeterogeneousCostModel cost)
+    : part_(&part), cost_(std::move(cost)),
       step_(static_cast<std::size_t>(part.num_nodes())) {}
 
 SimCluster::SimCluster(const SimCluster& other)
@@ -50,7 +54,7 @@ void SimCluster::send(rank_t from, rank_t to, std::size_t bytes,
   ESRP_CHECK(from >= 0 && from < num_nodes());
   ESRP_CHECK(to >= 0 && to < num_nodes());
   ESRP_CHECK_MSG(from != to, "node " << from << " attempted a self-send");
-  const double t = message_time(cost_, bytes);
+  const double t = cost_.message_time(from, to, bytes);
   step_[static_cast<std::size_t>(from)].send_time += t;
   step_[static_cast<std::size_t>(to)].recv_time += t;
   ledger_.record(cat, bytes);
@@ -60,12 +64,13 @@ void SimCluster::send(rank_t from, rank_t to, std::size_t bytes,
 void SimCluster::complete_step() {
   if (!step_dirty_.load(std::memory_order_relaxed)) return;
   double max_t = 0;
-  for (auto& c : step_) {
+  for (std::size_t rank = 0; rank < step_.size(); ++rank) {
+    StepCounters& c = step_[rank];
     // A node's step time: its compute plus the larger of its send/recv
     // activity (sends and receives of distinct partners overlap on separate
     // links; a node's own NIC serializes whichever direction dominates).
-    const double t =
-        compute_time(cost_, c.flops) + std::max(c.send_time, c.recv_time);
+    const double t = cost_.compute_time(static_cast<rank_t>(rank), c.flops) +
+                     std::max(c.send_time, c.recv_time);
     max_t = std::max(max_t, t);
     c = StepCounters{};
   }
@@ -76,7 +81,7 @@ void SimCluster::complete_step() {
 void SimCluster::allreduce(std::size_t num_scalars, CommCategory cat) {
   complete_step();
   const std::size_t bytes = num_scalars * CostParams::bytes_per_scalar;
-  modeled_time_ += allreduce_time(cost_, num_nodes(), bytes);
+  modeled_time_ += cost_.allreduce_time(num_nodes(), bytes);
   // Ledger: count one logical collective as N-1 pairwise contributions worth
   // of payload so byte totals remain comparable across runs.
   ledger_.record(cat, bytes * static_cast<std::size_t>(
@@ -86,13 +91,14 @@ void SimCluster::allreduce(std::size_t num_scalars, CommCategory cat) {
 void SimCluster::allreduce_overlapped(std::size_t num_scalars,
                                       CommCategory cat) {
   const std::size_t bytes = num_scalars * CostParams::bytes_per_scalar;
-  const double reduce_t = allreduce_time(cost_, num_nodes(), bytes);
+  const double reduce_t = cost_.allreduce_time(num_nodes(), bytes);
   // Compute the step's slowest node without double-charging, then take the
   // max against the in-flight reduction.
   double max_t = 0;
-  for (auto& c : step_) {
-    const double t =
-        compute_time(cost_, c.flops) + std::max(c.send_time, c.recv_time);
+  for (std::size_t rank = 0; rank < step_.size(); ++rank) {
+    StepCounters& c = step_[rank];
+    const double t = cost_.compute_time(static_cast<rank_t>(rank), c.flops) +
+                     std::max(c.send_time, c.recv_time);
     max_t = std::max(max_t, t);
     c = StepCounters{};
   }

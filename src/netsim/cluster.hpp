@@ -26,6 +26,11 @@ class SimCluster {
 public:
   SimCluster(const BlockRowPartition& part, CostParams cost = CostParams{});
 
+  /// Heterogeneous cluster: per-rank/per-link charges come from the model
+  /// (scenario lab cluster shapes). A homogeneous model charges bitwise
+  /// identically to the CostParams constructor.
+  SimCluster(const BlockRowPartition& part, HeterogeneousCostModel cost);
+
   // Copyable (tests snapshot the accounting state); hand-written because
   // the atomic dirty flag deletes the defaults. Never copy a cluster while
   // a parallel kernel is reporting into it.
@@ -39,7 +44,10 @@ public:
 
   const BlockRowPartition& partition() const { return *part_; }
   rank_t num_nodes() const { return part_->num_nodes(); }
-  const CostParams& cost_params() const { return cost_; }
+  /// Base (homogeneous) parameters — what the recovery code charges for
+  /// replacement-subgroup collectives regardless of cluster shape.
+  const CostParams& cost_params() const { return cost_.base(); }
+  const HeterogeneousCostModel& cost_model() const { return cost_; }
 
   /// Record `flops` floating-point operations on `rank` in this superstep.
   /// Concurrency: safe to call from parallel kernels as long as no two
@@ -89,7 +97,7 @@ private:
   };
 
   const BlockRowPartition* part_;
-  CostParams cost_;
+  HeterogeneousCostModel cost_;
   CommLedger ledger_;
   std::vector<StepCounters> step_;
   double modeled_time_ = 0;

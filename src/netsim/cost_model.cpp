@@ -1,6 +1,9 @@
 #include "netsim/cost_model.hpp"
 
+#include <algorithm>
 #include <cmath>
+
+#include "common/error.hpp"
 
 namespace esrp {
 
@@ -16,6 +19,98 @@ double allreduce_time(const CostParams& p, rank_t num_nodes, std::size_t bytes) 
 
 double compute_time(const CostParams& p, double flops) {
   return flops * p.gamma_s;
+}
+
+double HeterogeneousCostModel::at_or_one(const std::vector<double>& v,
+                                         rank_t rank) {
+  const auto i = static_cast<std::size_t>(rank);
+  return i < v.size() ? v[i] : 1.0;
+}
+
+void HeterogeneousCostModel::set_gamma_multiplier(rank_t rank, double factor) {
+  ESRP_CHECK(rank >= 0);
+  ESRP_CHECK_MSG(factor > 0, "gamma multiplier must be positive");
+  const auto i = static_cast<std::size_t>(rank);
+  if (i >= gamma_mult_.size()) gamma_mult_.resize(i + 1, 1.0);
+  gamma_mult_[i] = factor;
+  hetero_ = true;
+}
+
+double HeterogeneousCostModel::gamma_multiplier(rank_t rank) const {
+  return at_or_one(gamma_mult_, rank);
+}
+
+void HeterogeneousCostModel::set_link_multiplier(rank_t rank, double factor) {
+  ESRP_CHECK(rank >= 0);
+  ESRP_CHECK_MSG(factor > 0, "link multiplier must be positive");
+  const auto i = static_cast<std::size_t>(rank);
+  if (i >= link_mult_.size()) link_mult_.resize(i + 1, 1.0);
+  link_mult_[i] = factor;
+  max_link_mult_ = std::max(max_link_mult_, factor);
+  hetero_ = true;
+}
+
+double HeterogeneousCostModel::link_multiplier(rank_t rank) const {
+  return at_or_one(link_mult_, rank);
+}
+
+void HeterogeneousCostModel::set_link(rank_t from, rank_t to, double alpha_s,
+                                      double beta_s) {
+  ESRP_CHECK(from >= 0 && to >= 0 && from != to);
+  ESRP_CHECK_MSG(alpha_s >= 0 && beta_s >= 0,
+                 "link parameters must be non-negative");
+  LinkOverride l;
+  l.lo = std::min(from, to);
+  l.hi = std::max(from, to);
+  l.alpha_s = alpha_s;
+  l.beta_s = beta_s;
+  for (auto& e : links_) {
+    if (e.lo == l.lo && e.hi == l.hi) {
+      e = l;
+      hetero_ = true;
+      return;
+    }
+  }
+  links_.push_back(l);
+  hetero_ = true;
+}
+
+const HeterogeneousCostModel::LinkOverride*
+HeterogeneousCostModel::find_link(rank_t from, rank_t to) const {
+  const rank_t lo = std::min(from, to);
+  const rank_t hi = std::max(from, to);
+  for (const auto& e : links_)
+    if (e.lo == lo && e.hi == hi) return &e;
+  return nullptr;
+}
+
+double HeterogeneousCostModel::compute_time(rank_t rank, double flops) const {
+  if (!hetero_) return esrp::compute_time(base_, flops);
+  return flops * base_.gamma_s * at_or_one(gamma_mult_, rank);
+}
+
+double HeterogeneousCostModel::message_time(rank_t from, rank_t to,
+                                            std::size_t bytes) const {
+  if (!hetero_) return esrp::message_time(base_, bytes);
+  if (const LinkOverride* l = find_link(from, to))
+    return l->alpha_s + static_cast<double>(bytes) * l->beta_s;
+  const double mult =
+      std::max(at_or_one(link_mult_, from), at_or_one(link_mult_, to));
+  return mult * esrp::message_time(base_, bytes);
+}
+
+double HeterogeneousCostModel::allreduce_time(rank_t num_nodes,
+                                              std::size_t bytes) const {
+  if (!hetero_) return esrp::allreduce_time(base_, num_nodes, bytes);
+  if (num_nodes <= 1) return 0;
+  // Worst effective link: the base link scaled by the largest per-rank
+  // multiplier, or any absolute override, whichever is slower at this size.
+  double worst = std::max(1.0, max_link_mult_) * esrp::message_time(base_, bytes);
+  for (const auto& l : links_)
+    worst = std::max(worst,
+                     l.alpha_s + static_cast<double>(bytes) * l.beta_s);
+  const double rounds = std::ceil(std::log2(static_cast<double>(num_nodes)));
+  return 2.0 * rounds * worst;
 }
 
 } // namespace esrp

@@ -11,9 +11,15 @@
 //
 // Defaults approximate a commodity InfiniBand cluster (2 us latency, 5 GB/s
 // per-link bandwidth, 10 Gflop/s effective per-node rate for sparse kernels).
+//
+// `HeterogeneousCostModel` generalizes the uniform parameters to per-rank
+// gamma multipliers (stragglers) and per-link alpha/beta overrides (slow
+// links), so the scenario lab can express non-uniform clusters. A model
+// with no overrides charges exactly the homogeneous formulas above.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -36,5 +42,65 @@ double allreduce_time(const CostParams& p, rank_t num_nodes, std::size_t bytes);
 
 /// Time for `flops` floating-point operations on one node.
 double compute_time(const CostParams& p, double flops);
+
+/// Per-rank / per-link cost model for heterogeneous clusters.
+///
+/// Semantics:
+///   - compute on rank i:      flops * gamma * gamma_multiplier(i)
+///   - message i -> j:         absolute (alpha', beta') if the undirected
+///                             link {i, j} carries an override, otherwise
+///                             max(link_multiplier(i), link_multiplier(j))
+///                             * (alpha + bytes * beta) — the slower
+///                             endpoint's NIC is the bottleneck
+///   - allreduce over N nodes: 2 * ceil(log2 N) rounds, each charged the
+///                             worst effective link in the cluster (the
+///                             recursive-doubling butterfly eventually
+///                             crosses every slow link)
+///
+/// A default-constructed model (or one whose multipliers are all 1 with no
+/// link overrides) delegates to the free functions above and is therefore
+/// bitwise identical to the homogeneous accounting.
+class HeterogeneousCostModel {
+public:
+  HeterogeneousCostModel() = default;
+  explicit HeterogeneousCostModel(CostParams base) : base_(base) {}
+
+  const CostParams& base() const { return base_; }
+  bool homogeneous() const { return !hetero_; }
+
+  /// Scale rank `rank`'s per-flop time by `factor` (> 1 = straggler).
+  void set_gamma_multiplier(rank_t rank, double factor);
+  double gamma_multiplier(rank_t rank) const;
+
+  /// Scale alpha and beta of every message touching `rank` by `factor`.
+  void set_link_multiplier(rank_t rank, double factor);
+  double link_multiplier(rank_t rank) const;
+
+  /// Absolute alpha/beta override for the undirected link {from, to}.
+  /// Takes precedence over link multipliers; last call wins.
+  void set_link(rank_t from, rank_t to, double alpha_s, double beta_s);
+
+  double compute_time(rank_t rank, double flops) const;
+  double message_time(rank_t from, rank_t to, std::size_t bytes) const;
+  double allreduce_time(rank_t num_nodes, std::size_t bytes) const;
+
+private:
+  struct LinkOverride {
+    rank_t lo = 0; ///< min(from, to)
+    rank_t hi = 0; ///< max(from, to)
+    double alpha_s = 0;
+    double beta_s = 0;
+  };
+
+  const LinkOverride* find_link(rank_t from, rank_t to) const;
+  static double at_or_one(const std::vector<double>& v, rank_t rank);
+
+  CostParams base_;
+  std::vector<double> gamma_mult_; ///< indexed by rank, missing = 1
+  std::vector<double> link_mult_;  ///< indexed by rank, missing = 1
+  std::vector<LinkOverride> links_;
+  double max_link_mult_ = 1.0; ///< cached worst per-rank link multiplier
+  bool hetero_ = false;
+};
 
 } // namespace esrp

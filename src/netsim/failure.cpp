@@ -6,6 +6,14 @@
 
 namespace esrp {
 
+std::string to_string(FailureCause cause) {
+  switch (cause) {
+  case FailureCause::crash: return "crash";
+  case FailureCause::sdc: return "sdc";
+  }
+  return "unknown";
+}
+
 std::vector<rank_t> contiguous_ranks(rank_t start, rank_t count,
                                      rank_t num_nodes) {
   ESRP_CHECK(num_nodes > 0);

@@ -1,24 +1,48 @@
-// Node-failure description and helpers. Failures follow the paper's
-// experimental protocol: one failure event per run, hitting a contiguous
-// block of ranks (a switch fault takes out a branch of the fat tree), with
-// the failed ranks doubling as their own replacements after losing all
-// dynamic data.
+// Failure-event descriptions and helpers. A run carries a *schedule* of
+// events (primary + extras, or a sampled stochastic schedule from the
+// scenario registry); each event hits a contiguous block of ranks (a switch
+// fault takes out a branch of the fat tree), with the failed ranks doubling
+// as their own replacements after losing all dynamic data. Events are
+// tagged with a cause so crash recoveries and detected silent data
+// corruptions share one reporting surface.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace esrp {
 
+/// What produced a failure event: a node crash (the paper's fail-stop
+/// model, triggering state reconstruction) or a silent data corruption
+/// (a bit-flip caught — or missed — by residual replacement).
+enum class FailureCause { crash, sdc };
+
+std::string to_string(FailureCause cause);
+
 /// A single failure event: at the *start* of iteration `iteration` (before
 /// any work of that iteration), the given ranks lose all dynamic data.
 struct FailureEvent {
   index_t iteration = -1;       ///< -1 disables the event
   std::vector<rank_t> ranks;
+  FailureCause cause = FailureCause::crash;
 
   bool enabled() const { return iteration >= 0 && !ranks.empty(); }
+};
+
+/// A silent-data-corruption event: at the start of iteration `iteration`,
+/// bit `bit` of global entry `index` of the named solver vector is flipped.
+/// No rank loses data — the corruption travels with the arithmetic until
+/// residual replacement (or convergence checking) notices it.
+struct SdcEvent {
+  index_t iteration = -1; ///< -1 disables the event
+  std::string target = "p"; ///< corrupted vector: "p", "x", or "r"
+  index_t index = 0;        ///< global entry index
+  int bit = 51;             ///< bit to flip (0 = LSB of the mantissa)
+
+  bool enabled() const { return iteration >= 0; }
 };
 
 /// Contiguous block of `count` ranks starting at `start`, wrapping modulo

@@ -70,6 +70,18 @@ struct ResilienceOptions {
   /// events exercise repeated recoveries (redundancy is replenished by the
   /// following storage stages / checkpoints).
   std::vector<FailureEvent> extra_failures;
+  /// Silent-data-corruption events (scenario lab, generalizing the paper's
+  /// Table 4 drift study): each flips one bit of one vector entry at the
+  /// first execution of its iteration, after the SpMV phase — so a flip in
+  /// p desynchronizes the x update from the r update and the corruption is
+  /// observable as recursive-vs-true residual drift. Detection rides on
+  /// residual replacement; with residual_replacement == 0 every injected
+  /// event stays undetected (and is reported as such).
+  std::vector<SdcEvent> sdc_events;
+  /// Relative recursive-vs-recomputed residual-norm gap above which a
+  /// residual-replacement step flags a corruption. Benign drift near
+  /// convergence sits orders of magnitude below this default.
+  real_t sdc_threshold = 1e-3;
 };
 
 struct RecoveryRecord {
@@ -80,6 +92,17 @@ struct RecoveryRecord {
   index_t inner_iterations_precond = 0;
   index_t inner_iterations_matrix = 0;
   bool restarted_from_scratch = false; ///< no recoverable state existed
+};
+
+/// Outcome of one injected SdcEvent. Appended to the result at injection
+/// time, so an event the residual checks never catch is still reported —
+/// with `detected == false` — rather than silently dropped.
+struct SdcRecord {
+  SdcEvent event;
+  rank_t rank = -1;        ///< owner of the corrupted entry at injection
+  bool detected = false;
+  index_t detected_at = -1; ///< iteration of the flagging residual check
+  real_t discrepancy = 0;  ///< largest relative residual-norm gap observed
 };
 
 } // namespace esrp

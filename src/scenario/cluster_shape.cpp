@@ -1,0 +1,113 @@
+#include "scenario/cluster_shape.hpp"
+
+#include "common/error.hpp"
+#include "netsim/failure.hpp"
+#include "scenario/kv_params.hpp"
+
+namespace esrp {
+
+namespace {
+
+std::pair<std::string, std::string> split_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos) return {spec, ""};
+  return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+void register_shapes(Registry<ClusterShapeFactory>& reg) {
+  reg.add("homogeneous", "uniform alpha-beta-gamma cluster (the default)",
+          [](const std::string& arg, const CostParams& base, rank_t) {
+            if (!arg.empty())
+              throw Error(
+                  "cluster shape \"homogeneous\" takes no parameters, got \"" +
+                  arg + "\"");
+            return HeterogeneousCostModel(base);
+          });
+  reg.add("straggler",
+          "evenly spread slow ranks: [count=1,]factor=<gamma multiplier>",
+          [](const std::string& arg, const CostParams& base,
+             rank_t num_nodes) {
+            const KvParams kv(arg, "cluster shape \"straggler\"",
+                              {"count", "factor"});
+            const auto count = static_cast<rank_t>(kv.get_int("count", 1));
+            const double factor = kv.require_double("factor");
+            if (count < 1 || count > num_nodes)
+              throw Error("cluster shape \"straggler\": count must lie in "
+                          "[1, nodes]");
+            if (!(factor > 0))
+              throw Error("cluster shape \"straggler\": factor must be > 0");
+            HeterogeneousCostModel model(base);
+            for (rank_t k = 0; k < count; ++k) {
+              // Evenly spread: rank k * N / count (integer division).
+              const auto rank = static_cast<rank_t>(
+                  (static_cast<long long>(k) * num_nodes) / count);
+              model.set_gamma_multiplier(rank, factor);
+            }
+            return model;
+          });
+  reg.add("slow-rack",
+          "one contiguous rank block with slow links: "
+          "[start=0,][count=4,]factor=<link multiplier>",
+          [](const std::string& arg, const CostParams& base,
+             rank_t num_nodes) {
+            const KvParams kv(arg, "cluster shape \"slow-rack\"",
+                              {"start", "count", "factor"});
+            const auto start = static_cast<rank_t>(kv.get_int("start", 0));
+            const auto count = static_cast<rank_t>(kv.get_int("count", 4));
+            const double factor = kv.require_double("factor");
+            if (start < 0 || start >= num_nodes)
+              throw Error("cluster shape \"slow-rack\": start out of range");
+            if (count < 1 || count > num_nodes)
+              throw Error("cluster shape \"slow-rack\": count must lie in "
+                          "[1, nodes]");
+            if (!(factor > 0))
+              throw Error("cluster shape \"slow-rack\": factor must be > 0");
+            HeterogeneousCostModel model(base);
+            for (const rank_t rank :
+                 contiguous_ranks(start, count, num_nodes))
+              model.set_link_multiplier(rank, factor);
+            return model;
+          });
+  reg.add("slow-links", "every link scaled: factor=<link multiplier>",
+          [](const std::string& arg, const CostParams& base,
+             rank_t num_nodes) {
+            const KvParams kv(arg, "cluster shape \"slow-links\"",
+                              {"factor"});
+            const double factor = kv.require_double("factor");
+            if (!(factor > 0))
+              throw Error("cluster shape \"slow-links\": factor must be > 0");
+            HeterogeneousCostModel model(base);
+            for (rank_t rank = 0; rank < num_nodes; ++rank)
+              model.set_link_multiplier(rank, factor);
+            return model;
+          });
+}
+
+} // namespace
+
+Registry<ClusterShapeFactory>& cluster_shape_registry() {
+  static Registry<ClusterShapeFactory>* reg = [] {
+    auto* r = new Registry<ClusterShapeFactory>("cluster shape");
+    register_shapes(*r);
+    return r;
+  }();
+  return *reg;
+}
+
+HeterogeneousCostModel resolve_cluster_shape(const std::string& spec,
+                                             const CostParams& base,
+                                             rank_t num_nodes) {
+  if (spec.empty()) return HeterogeneousCostModel(base);
+  const auto [key, arg] = split_spec(spec);
+  return cluster_shape_registry().get(key)(arg, base, num_nodes);
+}
+
+void check_cluster_shape_key(const std::string& spec) {
+  if (spec.empty()) return;
+  const auto [key, arg] = split_spec(spec);
+  const Registry<ClusterShapeFactory>& reg = cluster_shape_registry();
+  if (!reg.contains(key))
+    throw Error(unknown_key_message(reg.kind(), key, reg.keys()));
+}
+
+} // namespace esrp

@@ -1,0 +1,44 @@
+// Named heterogeneous cluster shapes for the scenario lab.
+//
+//   cluster_shape_registry() — "homogeneous", "straggler", "slow-rack",
+//                              "slow-links"
+//
+// A shape turns the base alpha-beta-gamma parameters into a
+// HeterogeneousCostModel: per-rank gamma multipliers (stragglers) and
+// per-rank/per-link alpha-beta scaling (slow links). Shapes only change
+// *accounting* — modeled time and the ledger — never the floating-point
+// trajectory, so every solver golden holds on every shape (the scenario
+// tests pin this).
+//
+// Parameterized keys take an argument after a colon:
+//   "straggler:count=2,factor=4"     — 2 evenly spread ranks, 4x slower flops
+//   "slow-rack:start=0,count=4,factor=8" — one rack's links 8x slower
+//   "slow-links:factor=2"            — every link 2x slower
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "api/registry.hpp"
+#include "common/types.hpp"
+#include "netsim/cost_model.hpp"
+
+namespace esrp {
+
+/// A factory receives the text after the key's colon (empty when absent),
+/// the base cost parameters, and the cluster size.
+using ClusterShapeFactory = std::function<HeterogeneousCostModel(
+    const std::string& arg, const CostParams& base, rank_t num_nodes)>;
+
+Registry<ClusterShapeFactory>& cluster_shape_registry();
+
+/// Split a "key" or "key:arg" spec and build the model. The empty spec is
+/// the homogeneous cluster (the facade's default).
+HeterogeneousCostModel resolve_cluster_shape(const std::string& spec,
+                                             const CostParams& base,
+                                             rank_t num_nodes);
+
+/// Lookup-only variant: validates the base key without building a model.
+void check_cluster_shape_key(const std::string& spec);
+
+} // namespace esrp

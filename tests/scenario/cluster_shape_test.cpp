@@ -1,0 +1,180 @@
+// Heterogeneous cluster shapes (scenario/cluster_shape.hpp +
+// netsim/cost_model.hpp): the shape registry, the HeterogeneousCostModel
+// accounting semantics, and the load-bearing invariant that cost models
+// change *modeled time only* — the floating-point trajectory is identical
+// on every shape (cost accounting never feeds back into the arithmetic).
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "api/solve.hpp"
+#include "common/error.hpp"
+#include "netsim/cost_model.hpp"
+#include "scenario/cluster_shape.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+std::uint64_t fnv1a(const Vector& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(real_t); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(ClusterShapeRegistry, ListsAllFourShapes) {
+  const auto& reg = cluster_shape_registry();
+  for (const char* key :
+       {"homogeneous", "straggler", "slow-rack", "slow-links"}) {
+    EXPECT_TRUE(reg.contains(key)) << key;
+    EXPECT_FALSE(reg.help(key).empty()) << key;
+  }
+}
+
+TEST(ClusterShapeRegistry, SpecValidation) {
+  const CostParams base;
+  EXPECT_THROW(resolve_cluster_shape("stragler:factor=2", base, 8), Error);
+  EXPECT_THROW(resolve_cluster_shape("homogeneous:x=1", base, 8), Error);
+  EXPECT_THROW(resolve_cluster_shape("straggler:factor=0", base, 8), Error);
+  EXPECT_THROW(resolve_cluster_shape("straggler:count=9,factor=2", base, 8),
+               Error);
+  EXPECT_THROW(resolve_cluster_shape("slow-rack:start=8,factor=2", base, 8),
+               Error);
+  EXPECT_THROW(resolve_cluster_shape("slow-links", base, 8), Error);
+  EXPECT_NO_THROW(resolve_cluster_shape("", base, 8)); // empty = homogeneous
+  EXPECT_NO_THROW(resolve_cluster_shape("straggler:factor=4", base, 8));
+}
+
+TEST(HeterogeneousCostModel, NoOverridesDelegatesToHomogeneousBitwise) {
+  const CostParams base;
+  const HeterogeneousCostModel model(base);
+  EXPECT_TRUE(model.homogeneous());
+  for (const std::size_t bytes : {8u, 1024u, 65536u}) {
+    EXPECT_EQ(model.message_time(0, 5, bytes), message_time(base, bytes));
+    EXPECT_EQ(model.allreduce_time(8, bytes), allreduce_time(base, 8, bytes));
+  }
+  EXPECT_EQ(model.compute_time(3, 1e6), compute_time(base, 1e6));
+}
+
+TEST(HeterogeneousCostModel, GammaMultiplierSlowsOnlyThatRank) {
+  HeterogeneousCostModel model;
+  model.set_gamma_multiplier(2, 4.0);
+  EXPECT_FALSE(model.homogeneous());
+  EXPECT_EQ(model.compute_time(2, 1e6),
+            4.0 * compute_time(model.base(), 1e6));
+  EXPECT_EQ(model.compute_time(0, 1e6), compute_time(model.base(), 1e6));
+}
+
+TEST(HeterogeneousCostModel, LinkMultiplierChargesTheSlowerEndpoint) {
+  HeterogeneousCostModel model;
+  model.set_link_multiplier(1, 3.0);
+  const std::size_t bytes = 4096;
+  const double fast = message_time(model.base(), bytes);
+  EXPECT_EQ(model.message_time(0, 2, bytes), fast); // untouched link
+  EXPECT_EQ(model.message_time(0, 1, bytes), 3.0 * fast);
+  EXPECT_EQ(model.message_time(1, 0, bytes), 3.0 * fast); // undirected
+}
+
+TEST(HeterogeneousCostModel, AbsoluteLinkOverrideBeatsMultipliers) {
+  HeterogeneousCostModel model;
+  model.set_link_multiplier(1, 3.0);
+  model.set_link(1, 4, 1e-3, 1e-8);
+  const std::size_t bytes = 100;
+  EXPECT_EQ(model.message_time(4, 1, bytes),
+            1e-3 + static_cast<double>(bytes) * 1e-8);
+  // Last call wins on the same undirected link.
+  model.set_link(4, 1, 2e-3, 1e-8);
+  EXPECT_EQ(model.message_time(1, 4, bytes),
+            2e-3 + static_cast<double>(bytes) * 1e-8);
+}
+
+TEST(HeterogeneousCostModel, AllreduceChargesTheWorstLink) {
+  HeterogeneousCostModel model;
+  model.set_link_multiplier(5, 2.5);
+  const std::size_t bytes = 800;
+  // Recursive doubling eventually crosses every link, so each of the
+  // 2*ceil(log2 N) rounds pays the slowest one.
+  EXPECT_EQ(model.allreduce_time(8, bytes),
+            2.5 * allreduce_time(model.base(), 8, bytes));
+}
+
+class ClusterShapeSolve : public ::testing::Test {
+protected:
+  static void SetUpTestSuite() {
+    problem_ = new TestProblem(resolve_matrix("poisson2d:12,12"));
+    rhs_ = new Vector(xp::make_rhs(problem_->matrix));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete rhs_;
+    problem_ = nullptr;
+    rhs_ = nullptr;
+  }
+
+  SolveSpec base_spec() const {
+    SolveSpec spec;
+    spec.matrix_data = &problem_->matrix;
+    spec.rhs = *rhs_;
+    spec.solver = "resilient-pcg";
+    spec.nodes = 8;
+    spec.strategy = Strategy::esrp;
+    spec.interval = 10;
+    spec.phi = 2;
+    spec.failures.push_back(FailureEvent{17, {2, 3}});
+    return spec;
+  }
+
+  static TestProblem* problem_;
+  static Vector* rhs_;
+};
+
+TestProblem* ClusterShapeSolve::problem_ = nullptr;
+Vector* ClusterShapeSolve::rhs_ = nullptr;
+
+TEST_F(ClusterShapeSolve, ShapesChangeModeledTimeButNeverTheTrajectory) {
+  const SolveReport ref = solve(base_spec());
+  ASSERT_TRUE(ref.converged);
+
+  for (const char* shape :
+       {"straggler:count=1,factor=4", "slow-rack:start=0,count=2,factor=8",
+        "slow-links:factor=2"}) {
+    SolveSpec spec = base_spec();
+    spec.cluster_shape = shape;
+    const SolveReport res = solve(spec);
+    SCOPED_TRACE(shape);
+    ASSERT_TRUE(res.converged);
+    // Identical arithmetic: iteration count, hexfloat relres, and the
+    // full x/r vectors are bitwise equal across shapes...
+    EXPECT_EQ(res.iterations, ref.iterations);
+    EXPECT_EQ(res.executed_iterations, ref.executed_iterations);
+    EXPECT_EQ(res.final_relres, ref.final_relres);
+    EXPECT_EQ(fnv1a(res.x), fnv1a(ref.x));
+    EXPECT_EQ(fnv1a(res.r), fnv1a(ref.r));
+    // ...while the accounting reflects the slower cluster.
+    EXPECT_GT(res.modeled_time, ref.modeled_time);
+  }
+}
+
+TEST_F(ClusterShapeSolve, ExplicitHomogeneousIsBitwiseTheDefault) {
+  const SolveReport ref = solve(base_spec());
+  SolveSpec spec = base_spec();
+  spec.cluster_shape = "homogeneous";
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(ref.converged && res.converged);
+  EXPECT_EQ(res.modeled_time, ref.modeled_time);
+  EXPECT_EQ(res.final_relres, ref.final_relres);
+  EXPECT_EQ(fnv1a(res.x), fnv1a(ref.x));
+}
+
+TEST_F(ClusterShapeSolve, UnknownShapeIsRejectedBeforeTheSolve) {
+  SolveSpec spec = base_spec();
+  spec.cluster_shape = "straggglers:factor=2";
+  EXPECT_THROW(validate_spec(spec), Error);
+}
+
+} // namespace
+} // namespace esrp

@@ -1,0 +1,175 @@
+// The failure-process registry (scenario/failure_process.hpp): spec
+// parsing, schedule shape invariants, the rack correlation decorator, and
+// seed determinism. The "fixed" process must reproduce the paper's §5
+// hand-placed protocol exactly — it is the bridge between the stochastic
+// scenario lab and the existing golden-trajectory tests.
+#include <gtest/gtest.h>
+
+#include "api/registry.hpp"
+#include "api/solve.hpp"
+#include "common/error.hpp"
+#include "scenario/failure_process.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+std::uint64_t fnv1a(const Vector& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(real_t); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(FailureProcessRegistry, ListsAllFourProcesses) {
+  const auto& reg = failure_process_registry();
+  for (const char* key : {"fixed", "exponential", "weibull", "rack"}) {
+    EXPECT_TRUE(reg.contains(key)) << key;
+    EXPECT_FALSE(reg.help(key).empty()) << key;
+  }
+}
+
+TEST(FailureProcessRegistry, UnknownKeySuggestsNearMiss) {
+  try {
+    resolve_failure_process("expnential:mean=3");
+    FAIL() << "expected esrp::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("exponential"), std::string::npos);
+  }
+}
+
+TEST(FailureProcessRegistry, MalformedParametersThrow) {
+  EXPECT_THROW(resolve_failure_process("exponential"), Error);      // no mean
+  EXPECT_THROW(resolve_failure_process("exponential:mean=0"), Error);
+  EXPECT_THROW(resolve_failure_process("exponential:mena=3"), Error);
+  EXPECT_THROW(resolve_failure_process("weibull:k=0,scale=4"), Error);
+  EXPECT_THROW(resolve_failure_process("weibull:k=1"), Error);      // no scale
+  EXPECT_THROW(resolve_failure_process("fixed:it=0"), Error);
+  EXPECT_THROW(resolve_failure_process("fixed:it=5,it=6"), Error);  // dup
+  EXPECT_THROW(resolve_failure_process("rack:4"), Error);           // no inner
+  EXPECT_THROW(resolve_failure_process("rack:0/fixed:it=5"), Error);
+  EXPECT_THROW(resolve_failure_process("rack:x/fixed:it=5"), Error);
+  // check_failure_process_key validates the rack's *inner* key too.
+  EXPECT_THROW(check_failure_process_key("rack:2/expo:mean=3"), Error);
+  EXPECT_NO_THROW(check_failure_process_key("rack:2/exponential:mean=3"));
+}
+
+TEST(FailureProcess, FixedReproducesHandPlacedSchedule) {
+  const std::vector<FailureEvent> events =
+      sample_failure_schedule("fixed:it=17,start=2,count=2", 8, 100, 123);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].iteration, 17);
+  EXPECT_EQ(events[0].ranks, contiguous_ranks(2, 2, 8));
+  EXPECT_EQ(events[0].cause, FailureCause::crash);
+  // The fixed process consumes no randomness: any seed, same schedule.
+  const std::vector<FailureEvent> other =
+      sample_failure_schedule("fixed:it=17,start=2,count=2", 8, 100, 999);
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0].iteration, events[0].iteration);
+  EXPECT_EQ(other[0].ranks, events[0].ranks);
+}
+
+/// The acceptance bridge: a solve driven by the sampled "fixed" schedule is
+/// bitwise identical to the same solve with the hand-written FailureEvent —
+/// the stochastic machinery adds nothing to the paper's protocol.
+TEST(FailureProcess, FixedScheduleSolveMatchesHandWrittenEventBitwise) {
+  const TestProblem prob = resolve_matrix("poisson2d:12,12");
+  const Vector rhs = xp::make_rhs(prob.matrix);
+
+  SolveSpec spec;
+  spec.matrix_data = &prob.matrix;
+  spec.rhs = rhs;
+  spec.solver = "resilient-pcg";
+  spec.nodes = 8;
+  spec.strategy = Strategy::esrp;
+  spec.interval = 10;
+  spec.phi = 2;
+  spec.failures.push_back(FailureEvent{17, contiguous_ranks(2, 2, 8)});
+  const SolveReport manual = solve(spec);
+  ASSERT_TRUE(manual.converged);
+
+  SolveSpec sampled = spec;
+  sampled.failures =
+      sample_failure_schedule("fixed:it=17,start=2,count=2", 8, 100, 7);
+  const SolveReport report = solve(sampled);
+  ASSERT_TRUE(report.converged);
+  EXPECT_EQ(report.iterations, manual.iterations);
+  EXPECT_EQ(report.final_relres, manual.final_relres);
+  EXPECT_EQ(report.modeled_time, manual.modeled_time);
+  EXPECT_EQ(fnv1a(report.x), fnv1a(manual.x));
+  EXPECT_EQ(fnv1a(report.r), fnv1a(manual.r));
+}
+
+TEST(FailureProcess, ScheduleIterationsAreStrictlyIncreasingInHorizon) {
+  // mean=1 stresses the integer-iteration bump: continuous arrivals often
+  // land in the same unit interval, and the schedule must still be
+  // strictly increasing (the engine requires pairwise distinct events).
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 42ull}) {
+    const std::vector<FailureEvent> events =
+        sample_failure_schedule("exponential:mean=1", 8, 50, seed);
+    ASSERT_FALSE(events.empty());
+    index_t prev = 0;
+    for (const FailureEvent& e : events) {
+      EXPECT_GT(e.iteration, prev);
+      EXPECT_LT(e.iteration, 50);
+      ASSERT_EQ(e.ranks.size(), 1u);
+      EXPECT_GE(e.ranks[0], 0);
+      EXPECT_LT(e.ranks[0], 8);
+      EXPECT_EQ(e.cause, FailureCause::crash);
+      prev = e.iteration;
+    }
+  }
+}
+
+TEST(FailureProcess, SameSeedSameScheduleDistinctSeedsDistinct) {
+  const auto a = sample_failure_schedule("exponential:mean=10", 16, 200, 11);
+  const auto b = sample_failure_schedule("exponential:mean=10", 16, 200, 11);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].iteration, b[i].iteration);
+    EXPECT_EQ(a[i].ranks, b[i].ranks);
+  }
+  const auto c = sample_failure_schedule("exponential:mean=10", 16, 200, 12);
+  bool differs = a.size() != c.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i)
+    differs = a[i].iteration != c[i].iteration || a[i].ranks != c[i].ranks;
+  EXPECT_TRUE(differs) << "seeds 11 and 12 produced identical schedules";
+}
+
+TEST(FailureProcess, RackDecoratorWidensEventsWithoutShiftingArrivals) {
+  const auto plain = sample_failure_schedule("exponential:mean=8", 8, 120, 5);
+  const auto rack =
+      sample_failure_schedule("rack:3/exponential:mean=8", 8, 120, 5);
+  ASSERT_FALSE(plain.empty());
+  ASSERT_EQ(rack.size(), plain.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    // Inter-arrivals are drawn before ranks, so decorating never perturbs
+    // the arrival sequence — only the blast radius.
+    EXPECT_EQ(rack[i].iteration, plain[i].iteration);
+    EXPECT_EQ(rack[i].ranks,
+              contiguous_ranks(plain[i].ranks[0], 3, 8));
+  }
+}
+
+TEST(FailureProcess, RackWidthMustLeaveASurvivor) {
+  EXPECT_THROW(sample_failure_schedule("rack:8/exponential:mean=5", 8, 60, 1),
+               std::exception);
+  EXPECT_NO_THROW(
+      sample_failure_schedule("rack:7/exponential:mean=5", 8, 60, 1));
+}
+
+TEST(FailureProcess, WeibullShapeOneMatchesExponentialDraws) {
+  // k = 1 degenerates to Exp(1/scale); the inverse-CDF implementations
+  // must agree bitwise on the same underlying uniforms.
+  Rng a(77), b(77);
+  for (int i = 0; i < 100; ++i)
+    EXPECT_EQ(weibull_interarrival(1.0, 30.0, a),
+              exponential_interarrival(30.0, b));
+}
+
+} // namespace
+} // namespace esrp

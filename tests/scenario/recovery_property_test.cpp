@@ -1,0 +1,182 @@
+// The property-test harness of the scenario engine: 50 seeded random
+// scenarios (25 per distributed solver) across strategies, storage
+// intervals, and stochastic failure processes, each checked against the
+// failure-free reference trajectory of the same spec.
+//
+// What "exact recovery" means per path (docs/resilience.md):
+//   - empty schedule, or checkpoint restores (IMCR) and scratch restarts:
+//     bitwise identical to the failure-free run — the solver re-executes
+//     the same arithmetic, so relres and the x/r vectors match hash-exact;
+//   - ESRP reconstruction: the lost entries are rebuilt by *inner solves*
+//     at inner_rtol = 1e-14, so the recovered run follows the reference
+//     trajectory to reconstruction accuracy (same iteration count ±1,
+//     solution within 1e-7), not bitwise.
+// Every scenario additionally proves reproducibility: the identical spec
+// rerun at 4 threads yields a bitwise-identical report (the fixed-grain
+// reductions in docs/parallelism.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/registry.hpp"
+#include "api/solve.hpp"
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+#include "scenario/failure_process.hpp"
+#include "sparse/generators.hpp"
+#include "xp/experiment.hpp"
+
+namespace esrp {
+namespace {
+
+constexpr rank_t kNodes = 8;
+constexpr real_t kEsrpRecoveryTol = 1e-7; ///< x deviation after reconstruction
+
+std::uint64_t fnv1a(const Vector& v) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  for (std::size_t i = 0; i < v.size() * sizeof(real_t); ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+struct PropertyCase {
+  const char* solver;
+  std::uint64_t seed;
+};
+
+void PrintTo(const PropertyCase& c, std::ostream* os) {
+  *os << c.solver << "/seed" << c.seed;
+}
+
+class ScenarioRecoveryProperty
+    : public ::testing::TestWithParam<PropertyCase> {
+protected:
+  static void SetUpTestSuite() {
+    problem_ = new TestProblem(resolve_matrix("poisson2d:12,12"));
+    rhs_ = new Vector(xp::make_rhs(problem_->matrix));
+  }
+  static void TearDownTestSuite() {
+    delete problem_;
+    delete rhs_;
+    problem_ = nullptr;
+    rhs_ = nullptr;
+  }
+
+  SolveSpec base_spec(const char* solver) const {
+    SolveSpec spec;
+    spec.matrix_data = &problem_->matrix;
+    spec.rhs = *rhs_;
+    spec.solver = solver;
+    spec.precond = "block-jacobi";
+    spec.nodes = kNodes;
+    spec.phi = 2;
+    spec.threads = 1;
+    return spec;
+  }
+
+  static TestProblem* problem_;
+  static Vector* rhs_;
+};
+
+TestProblem* ScenarioRecoveryProperty::problem_ = nullptr;
+Vector* ScenarioRecoveryProperty::rhs_ = nullptr;
+
+TEST_P(ScenarioRecoveryProperty, RecoversExactlyOnRandomScenario) {
+  const PropertyCase& param = GetParam();
+  Rng rng(0x5CE9A210ull ^ (param.seed * 0x9E3779B97F4A7C15ull));
+
+  // --- draw the scenario -------------------------------------------------
+  const Strategy strategy =
+      rng.next_below(2) == 0 ? Strategy::esrp : Strategy::imcr;
+  const index_t intervals[] = {1, 5, 10, 20};
+  const index_t interval = intervals[rng.next_below(4)];
+  const char* processes[] = {
+      "exponential:mean=8",  "exponential:mean=15", "exponential:mean=30",
+      "weibull:k=2,scale=20", "rack:2/exponential:mean=20"};
+  const std::string process = processes[rng.next_below(5)];
+
+  // --- failure-free reference on the same spec ---------------------------
+  SolveSpec ref_spec = base_spec(param.solver);
+  ref_spec.strategy = Strategy::none;
+  const SolveReport ref = solve(ref_spec);
+  ASSERT_TRUE(ref.converged);
+  ASSERT_GT(ref.iterations, 10);
+
+  // --- the scenario run --------------------------------------------------
+  SolveSpec spec = base_spec(param.solver);
+  spec.strategy = strategy;
+  spec.interval = interval;
+  spec.failures = sample_failure_schedule(process, kNodes, ref.iterations,
+                                          param.seed + 1);
+  SCOPED_TRACE(::testing::Message()
+               << to_string(strategy) << " T=" << interval << " " << process
+               << " events=" << spec.failures.size());
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(res.converged);
+  EXPECT_GE(res.executed_iterations, res.iterations);
+  EXPECT_LE(res.recoveries.size(), spec.failures.size());
+
+  const bool scratch = res.restarted_from_scratch();
+  const bool bitwise_path = spec.failures.empty() ||
+                            (strategy == Strategy::imcr && !scratch) ||
+                            (scratch && res.recoveries.size() == 1);
+  if (bitwise_path) {
+    // Copy-restore recovery (or none at all) re-executes the reference
+    // arithmetic verbatim: hash-exact solution and residual, identical
+    // hexfloat relres.
+    EXPECT_EQ(res.iterations, ref.iterations);
+    EXPECT_EQ(res.final_relres, ref.final_relres);
+    EXPECT_EQ(fnv1a(res.x), fnv1a(ref.x));
+    EXPECT_EQ(fnv1a(res.r), fnv1a(ref.r));
+  } else if (!scratch) {
+    // ESRP reconstruction: exact to inner-solve accuracy, not bitwise.
+    EXPECT_LE(std::llabs(static_cast<long long>(res.iterations) -
+                         static_cast<long long>(ref.iterations)),
+              1);
+    EXPECT_LT(vec_rel_diff_inf(res.x, ref.x), kEsrpRecoveryTol);
+  } else {
+    // A mid-run scratch restart replays a prefix before the restart, so
+    // only the final answer is comparable.
+    EXPECT_LT(true_relative_residual(problem_->matrix, *rhs_, res.x),
+              1e-7);
+  }
+
+  // --- reproducibility: same spec, 4 threads, bitwise-identical report ---
+  SolveSpec spec4 = spec;
+  spec4.threads = 4;
+  const SolveReport res4 = solve(spec4);
+  ASSERT_TRUE(res4.converged);
+  EXPECT_EQ(res4.iterations, res.iterations);
+  EXPECT_EQ(res4.executed_iterations, res.executed_iterations);
+  EXPECT_EQ(res4.final_relres, res.final_relres);
+  EXPECT_EQ(res4.modeled_time, res.modeled_time);
+  EXPECT_EQ(fnv1a(res4.x), fnv1a(res.x));
+  EXPECT_EQ(fnv1a(res4.r), fnv1a(res.r));
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  for (const char* solver : {"resilient-pcg", "dist-pipelined"})
+    for (std::uint64_t seed = 0; seed < 25; ++seed)
+      cases.push_back({solver, seed});
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  std::string solver = info.param.solver;
+  for (char& c : solver)
+    if (c == '-') c = '_';
+  return solver + "_seed" + std::to_string(info.param.seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(FiftyScenarios, ScenarioRecoveryProperty,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+} // namespace
+} // namespace esrp

@@ -13,6 +13,7 @@
 // auto` places the failure with the paper's worst-case rule (two iterations
 // before the end of the interval containing C/2, which requires one extra
 // reference solve).
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,6 +24,9 @@
 #include "api/registry.hpp"
 #include "api/solve.hpp"
 #include "parallel/parallel.hpp"
+#include "scenario/cluster_shape.hpp"
+#include "scenario/failure_process.hpp"
+#include "scenario/kv_params.hpp"
 #include "xp/experiment.hpp"
 
 namespace {
@@ -58,6 +62,23 @@ constexpr OptionSpec kOptions[] = {
     {"--block-size", "B", "block Jacobi block size (default 10)"},
     {"--fail-at", "J|auto", "inject a failure (default: none)"},
     {"--fail-ranks", "S:C", "contiguous ranks, start:count (default 0:phi)"},
+    {"--failure-process", "SPEC",
+     "sample a stochastic failure schedule instead of\n"
+     "                    --fail-at: fixed:it=J[,start=S][,count=C] |\n"
+     "                    exponential:mean=M | weibull:k=K,scale=S |\n"
+     "                    rack:W/<inner> (see --list; runs one reference\n"
+     "                    solve for the horizon C)"},
+    {"--seed", "N", "failure-process sampling seed (default 1)"},
+    {"--cluster", "SPEC",
+     "cluster shape: homogeneous | straggler:... |\n"
+     "                    slow-rack:... | slow-links:... (see --list)"},
+    {"--sdc", "KV",
+     "inject a silent bit-flip: it=J[,vec=p|x|r]\n"
+     "                    [,entry=E][,bit=B] (resilient-pcg; pair with\n"
+     "                    --residual-replacement to detect it)"},
+    {"--residual-replacement", "K",
+     "recompute r = b - A x every K iterations\n"
+     "                    (default 0 = never; resilient-pcg only)"},
     {"--formulation", "F", "inverse | matrix (default inverse)"},
     {"--threads", "N",
      "kernel threads (default $ESRP_NUM_THREADS or 1;\n"
@@ -121,6 +142,7 @@ void print_solver_registry() {
       }
       caps += e.supports_no_spare ? "; no-spare recovery" : "; spares only";
       if (!e.supports_residual_replacement) caps += "; no residual replacement";
+      if (e.supports_sdc) caps += "; sdc injection";
     }
     if (!e.supports_x0) caps += "; no initial guess (x0)";
     std::printf("  %-15s   [%s]\n", "", caps.c_str());
@@ -131,6 +153,8 @@ void print_solver_registry() {
   print_solver_registry();
   print_registry(precond_registry(), "preconditioners");
   print_registry(matrix_registry(), "matrices");
+  print_registry(failure_process_registry(), "failure processes");
+  print_registry(cluster_shape_registry(), "cluster shapes");
   std::exit(0);
 }
 
@@ -209,6 +233,27 @@ int main(int argc, char** argv) {
   spec.rtol = std::atof(get("--rtol", "1e-8").c_str());
   spec.block_size = std::atol(get("--block-size", "10").c_str());
   spec.spare_nodes = !no_spares;
+  spec.residual_replacement =
+      std::atol(get("--residual-replacement", "0").c_str());
+  spec.cluster_shape = get("--cluster", "");
+
+  // --sdc is strict k=v parsing (scenario/kv_params.hpp), so a typo'd key
+  // is a usage error like an unknown registry key. Semantic checks
+  // (target name, bit range, entry range) follow in validate_spec.
+  if (args.count("--sdc")) {
+    try {
+      const KvParams kv(args.at("--sdc"), "--sdc",
+                        {"it", "vec", "entry", "bit"});
+      SdcEvent e;
+      e.iteration = static_cast<index_t>(kv.require_int("it"));
+      e.target = kv.get_string("vec", "p");
+      e.index = static_cast<index_t>(kv.get_int("entry", 0));
+      e.bit = static_cast<int>(kv.get_int("bit", 51));
+      spec.sdc_events.push_back(e);
+    } catch (const Error& e) {
+      usage(e.what());
+    }
+  }
 
   // Unsupported solver/strategy/no-spare combinations are usage errors
   // (exit 2) with the registry's capability message, caught before any
@@ -238,12 +283,62 @@ int main(int argc, char** argv) {
   try {
     double t0 = -1;
     const std::string fail_at = get("--fail-at", "");
+    const std::string process = get("--failure-process", "");
     if (fail_at.empty() && args.count("--fail-ranks"))
       usage("--fail-ranks requires --fail-at");
-    if (!fail_at.empty() && !solver_registry().get(spec.solver).distributed)
-      usage(("--fail-at needs a distributed solver; " + spec.solver +
+    if (process.empty() && args.count("--seed"))
+      usage("--seed requires --failure-process");
+    if (!process.empty() && !fail_at.empty())
+      usage("--failure-process and --fail-at are mutually exclusive");
+    if ((!fail_at.empty() || !process.empty()) &&
+        !solver_registry().get(spec.solver).distributed)
+      usage(((fail_at.empty() ? "--failure-process" : "--fail-at") +
+             std::string(" needs a distributed solver; ") + spec.solver +
              " is sequential")
                 .c_str());
+
+    if (!process.empty()) {
+      try {
+        check_failure_process_key(process);
+      } catch (const Error& e) {
+        usage(e.what());
+      }
+      if (spec.matrix_data == nullptr) { // mm: path — build and reuse
+        prob = resolve_matrix(spec.matrix);
+        spec.matrix_data = &prob.matrix;
+        spec.matrix_name = prob.name;
+      }
+      // The process samples iterations on [1, C): the horizon C comes from
+      // the same failure-free reference solve --fail-at auto runs, so the
+      // schedule is calibrated to the trajectory it will interrupt.
+      SolveSpec ref_spec = spec;
+      ref_spec.strategy = Strategy::none;
+      ref_spec.failures.clear();
+      ref_spec.sdc_events.clear();
+      const SolveReport ref = esrp::solve(ref_spec);
+      if (!ref.converged)
+        usage("--failure-process: reference run did not converge");
+      t0 = ref.modeled_time;
+      const std::string seed_text = get("--seed", "1");
+      char* seed_end = nullptr;
+      const std::uint64_t seed =
+          std::strtoull(seed_text.c_str(), &seed_end, 10);
+      if (seed_text.empty() || seed_end == nullptr || *seed_end != '\0')
+        usage("--seed must be a non-negative integer");
+      spec.failures =
+          sample_failure_schedule(process, spec.nodes, ref.iterations, seed);
+      if (!quiet) {
+        std::printf("reference: C = %lld, t0 = %.3f s; seed %llu sampled "
+                    "%zu event(s)\n",
+                    static_cast<long long>(ref.iterations), t0,
+                    static_cast<unsigned long long>(seed),
+                    spec.failures.size());
+        for (const FailureEvent& e : spec.failures)
+          std::printf("  failure at %lld: %zu rank(s) from %d\n",
+                      static_cast<long long>(e.iteration), e.ranks.size(),
+                      static_cast<int>(e.ranks.empty() ? -1 : e.ranks.front()));
+      }
+    }
     if (!fail_at.empty()) {
       index_t iteration;
       if (fail_at == "auto") {
@@ -288,12 +383,17 @@ int main(int argc, char** argv) {
 
     if (quiet) {
       if (distributed) {
+        std::size_t detected = 0;
+        for (const SdcRecord& s : res.sdc) detected += s.detected ? 1 : 0;
         std::printf("converged=%d iterations=%lld executed=%lld "
-                    "modeled_time=%.6f recoveries=%zu drift=%.3e\n",
+                    "modeled_time=%.6f recoveries=%zu drift=%.3e",
                     res.converged ? 1 : 0,
                     static_cast<long long>(res.iterations),
                     static_cast<long long>(res.executed_iterations),
                     res.modeled_time, res.recoveries.size(), res.drift);
+        if (!res.sdc.empty())
+          std::printf(" sdc_detected=%zu/%zu", detected, res.sdc.size());
+        std::printf("\n");
       } else {
         std::printf("converged=%d iterations=%lld relres=%.3e flops=%.3e\n",
                     res.converged ? 1 : 0,
@@ -335,6 +435,24 @@ int main(int argc, char** argv) {
                     static_cast<long long>(rec.wasted_iterations),
                     rec.restarted_from_scratch ? " [scratch restart]" : "",
                     rec.modeled_time);
+      }
+      for (const SdcRecord& s : res.sdc) {
+        std::printf("sdc:           bit %d of %s[%lld] flipped at %lld on "
+                    "rank %d — ",
+                    s.event.bit, s.event.target.c_str(),
+                    static_cast<long long>(s.event.index),
+                    static_cast<long long>(s.event.iteration),
+                    static_cast<int>(s.rank));
+        if (s.detected)
+          std::printf("detected at %lld (gap %.3e)\n",
+                      static_cast<long long>(s.detected_at),
+                      static_cast<double>(s.discrepancy));
+        else
+          std::printf("UNDETECTED (max gap %.3e%s)\n",
+                      static_cast<double>(s.discrepancy),
+                      spec.residual_replacement > 0
+                          ? ""
+                          : "; no residual replacement configured");
       }
       std::printf("residual drift: %+.3e\n", res.drift);
     } else {
