@@ -30,6 +30,8 @@
 namespace esrp {
 
 class BlockRowPartition;
+class SpmvPlan;
+class AspmvPlan;
 
 /// Error text for a failed lookup: names the kind, suggests the closest
 /// valid key (edit distance) when one is plausibly a typo, and lists every
@@ -100,12 +102,34 @@ private:
 
 // ---------------------------------------------------------------- solvers --
 
+/// Amortized artifacts a prepared ProblemHandle (service/problem_handle.hpp)
+/// injects into a solver driver. Every pointer is optional: when set, the
+/// driver uses the prepared object instead of rebuilding it; when null it
+/// builds exactly what it always built, so the facade path is untouched.
+/// All prepared objects are deterministic functions of the same spec
+/// fields the drivers would use, which is what makes a service-routed solve
+/// bitwise identical to a facade solve (pinned by tests/service/).
+struct PreparedParts {
+  /// Node partition for distributed solvers (the handle owns it).
+  const BlockRowPartition* part = nullptr;
+  /// Static SpMV communication plan on `part`.
+  const SpmvPlan* spmv = nullptr;
+  /// Augmented SpMV plan (ESRP redundancy), built for one specific phi;
+  /// drivers must ignore it when their phi differs.
+  const AspmvPlan* aspmv = nullptr;
+  /// Factorized preconditioner. Partition-aligned for distributed solvers,
+  /// single-domain for sequential ones — the plan cache keys on that.
+  const Preconditioner* precond = nullptr;
+};
+
 /// Everything a solver driver needs, resolved from a validated SolveSpec.
 struct SolveContext {
   const CsrMatrix& a;
   std::span<const real_t> b;
   const SolveSpec& spec;
   SolverObserver* observer = nullptr; ///< may be null
+  /// Set by the service layer when a prepared handle backs this solve.
+  const PreparedParts* prepared = nullptr;
 };
 
 /// A registered solver: the driver plus the capability flags validate_spec
@@ -134,6 +158,10 @@ struct SolverEntry {
   /// the residual-replacement machinery for detection, so only
   /// "resilient-pcg" qualifies today.
   bool supports_sdc = false;
+  /// Whether multi-RHS batched solves (RunSpec::rhs_batch through
+  /// SolveService::solve_batched) are implemented — the fused per-RHS
+  /// recurrences sharing each SpMV sweep exist for "pcg" only.
+  bool supports_batched_rhs = false;
 };
 
 Registry<SolverEntry>& solver_registry();

@@ -1,6 +1,7 @@
 #include "api/solve.hpp"
 
 #include <cstdint>
+#include <optional>
 #include <utility>
 
 #include "api/registry.hpp"
@@ -40,10 +41,18 @@ private:
   int saved_ = -1;
 };
 
-std::unique_ptr<Preconditioner> make_precond(const SolveContext& ctx,
-                                             const BlockRowPartition* part) {
-  return precond_registry().get(ctx.spec.precond).make(
+/// The preconditioner for this solve: the prepared handle's factorization
+/// when one was injected, else a fresh factorization (stored in `owned`).
+/// Both paths factorize from the same inputs, so they are interchangeable
+/// bitwise — the service's warm path just skips the work.
+const Preconditioner& resolve_precond(const SolveContext& ctx,
+                                      const BlockRowPartition* part,
+                                      std::unique_ptr<Preconditioner>& owned) {
+  if (ctx.prepared != nullptr && ctx.prepared->precond != nullptr)
+    return *ctx.prepared->precond;
+  owned = precond_registry().get(ctx.spec.precond).make(
       PrecondContext{ctx.a, part, ctx.spec});
+  return *owned;
 }
 
 IterationCallback iteration_adapter(SolverObserver* observer) {
@@ -57,7 +66,8 @@ IterationCallback iteration_adapter(SolverObserver* observer) {
 
 SolveReport run_pcg(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
-  const auto precond = make_precond(ctx, nullptr);
+  std::unique_ptr<Preconditioner> owned;
+  const Preconditioner& precond = resolve_precond(ctx, nullptr, owned);
   Vector x(static_cast<std::size_t>(ctx.a.rows()), 0);
   if (!spec.x0.empty()) vec_copy(spec.x0, x);
 
@@ -65,7 +75,7 @@ SolveReport run_pcg(const SolveContext& ctx) {
   opts.rtol = spec.rtol;
   opts.max_iterations = spec.max_iterations;
   WallTimer timer;
-  const PcgResult res = pcg_solve(ctx.a, ctx.b, x, precond.get(), opts,
+  const PcgResult res = pcg_solve(ctx.a, ctx.b, x, &precond, opts,
                                   iteration_adapter(ctx.observer));
 
   SolveReport report;
@@ -81,7 +91,8 @@ SolveReport run_pcg(const SolveContext& ctx) {
 
 SolveReport run_pipelined(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
-  const auto precond = make_precond(ctx, nullptr);
+  std::unique_ptr<Preconditioner> owned;
+  const Preconditioner& precond = resolve_precond(ctx, nullptr, owned);
   Vector x(static_cast<std::size_t>(ctx.a.rows()), 0);
   if (!spec.x0.empty()) vec_copy(spec.x0, x);
 
@@ -90,7 +101,7 @@ SolveReport run_pipelined(const SolveContext& ctx) {
   opts.max_iterations = spec.max_iterations;
   WallTimer timer;
   const PipelinedPcgResult res = pipelined_pcg_solve(
-      ctx.a, ctx.b, x, precond.get(), opts, iteration_adapter(ctx.observer));
+      ctx.a, ctx.b, x, &precond, opts, iteration_adapter(ctx.observer));
 
   SolveReport report;
   report.converged = res.converged;
@@ -124,11 +135,29 @@ HeterogeneousCostModel cluster_model(const SolveContext& ctx) {
                                ctx.spec.nodes);
 }
 
+/// Partition for a distributed solve: the prepared handle's (so the shared
+/// plans' partition identity checks hold) or a locally built one. Both are
+/// the same deterministic block-row split of (rows, nodes).
+const BlockRowPartition& resolve_partition(
+    const SolveContext& ctx, std::optional<BlockRowPartition>& local) {
+  if (ctx.prepared != nullptr && ctx.prepared->part != nullptr) {
+    ESRP_CHECK_MSG(ctx.prepared->part->num_nodes() == ctx.spec.nodes &&
+                       ctx.prepared->part->global_size() == ctx.a.rows(),
+                   "prepared partition does not match this spec's "
+                   "(rows, nodes)");
+    return *ctx.prepared->part;
+  }
+  local.emplace(ctx.a.rows(), ctx.spec.nodes);
+  return *local;
+}
+
 SolveReport run_resilient(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
-  const BlockRowPartition part(ctx.a.rows(), spec.nodes);
+  std::optional<BlockRowPartition> local_part;
+  const BlockRowPartition& part = resolve_partition(ctx, local_part);
   SimCluster cluster(part, cluster_model(ctx));
-  const auto precond = make_precond(ctx, &part);
+  std::unique_ptr<Preconditioner> owned;
+  const Preconditioner& precond = resolve_precond(ctx, &part, owned);
 
   ResilienceOptions opts;
   opts.strategy = spec.strategy;
@@ -144,7 +173,15 @@ SolveReport run_resilient(const SolveContext& ctx) {
   opts.sdc_events = spec.sdc_events;
   opts.sdc_threshold = spec.sdc_threshold;
 
-  ResilientPcg solver(ctx.a, *precond, cluster, opts);
+  // Shared plans ride along only when they match this solve (same phi);
+  // otherwise the solver builds its own, exactly as before.
+  const SpmvPlan* plan =
+      ctx.prepared != nullptr ? ctx.prepared->spmv : nullptr;
+  const AspmvPlan* aug = nullptr;
+  if (plan != nullptr && ctx.prepared->aspmv != nullptr &&
+      ctx.prepared->aspmv->phi() == opts.phi)
+    aug = ctx.prepared->aspmv;
+  ResilientPcg solver(ctx.a, precond, cluster, opts, plan, aug);
   if (SolverObserver* obs = ctx.observer) {
     solver.set_progress_callback(
         [obs](index_t j, real_t relres) { obs->on_iteration(j, relres); });
@@ -181,9 +218,11 @@ SolveReport run_resilient(const SolveContext& ctx) {
 
 SolveReport run_dist_pipelined(const SolveContext& ctx) {
   const SolveSpec& spec = ctx.spec;
-  const BlockRowPartition part(ctx.a.rows(), spec.nodes);
+  std::optional<BlockRowPartition> local_part;
+  const BlockRowPartition& part = resolve_partition(ctx, local_part);
   SimCluster cluster(part, cluster_model(ctx));
-  const auto precond = make_precond(ctx, &part);
+  std::unique_ptr<Preconditioner> owned;
+  const Preconditioner& precond = resolve_precond(ctx, &part, owned);
 
   DistPipelinedOptions opts;
   opts.rtol = spec.rtol;
@@ -197,7 +236,13 @@ SolveReport run_dist_pipelined(const SolveContext& ctx) {
   opts.residual_replacement = spec.residual_replacement;
   opts.extra_failures = spec.failures;
 
-  DistPipelinedPcg solver(ctx.a, *precond, cluster, opts);
+  const SpmvPlan* plan =
+      ctx.prepared != nullptr ? ctx.prepared->spmv : nullptr;
+  const AspmvPlan* aug = nullptr;
+  if (plan != nullptr && ctx.prepared->aspmv != nullptr &&
+      ctx.prepared->aspmv->phi() == opts.phi)
+    aug = ctx.prepared->aspmv;
+  DistPipelinedPcg solver(ctx.a, precond, cluster, opts, plan, aug);
   if (SolverObserver* obs = ctx.observer) {
     solver.set_progress_callback(
         [obs](index_t j, real_t relres) { obs->on_iteration(j, relres); });
@@ -229,7 +274,7 @@ Registry<SolverEntry>& solver_registry() {
   static Registry<SolverEntry>* reg = [] {
     auto* r = new Registry<SolverEntry>("solver");
     r->add("pcg", "sequential preconditioned CG (paper Alg. 1)",
-           SolverEntry{.run = run_pcg});
+           SolverEntry{.run = run_pcg, .supports_batched_rhs = true});
     r->add("pipelined",
            "sequential pipelined PCG (Ghysels & Vanroose, one fused "
            "reduction)",
@@ -258,9 +303,39 @@ Registry<SolverEntry>& solver_registry() {
   return *reg;
 }
 
+namespace detail {
+
+SolveReport run_resolved(const SolveSpec& spec, const CsrMatrix& a,
+                         const std::string& name, std::span<const real_t> b,
+                         SolverObserver* observer,
+                         const PreparedParts* prepared) {
+  const SolverEntry& entry = solver_registry().get(spec.solver);
+  ESRP_CHECK_MSG(a.rows() == a.cols(), "solve() needs a square matrix");
+  ESRP_CHECK_MSG(static_cast<index_t>(b.size()) == a.rows(),
+                 "rhs size " << b.size() << " does not match matrix dimension "
+                             << a.rows());
+  ESRP_CHECK_MSG(spec.x0.empty() ||
+                     static_cast<index_t>(spec.x0.size()) == a.rows(),
+                 "x0 size " << spec.x0.size()
+                            << " does not match matrix dimension "
+                            << a.rows());
+
+  SolveReport report = entry.run(SolveContext{a, b, spec, observer, prepared});
+  report.solver = spec.solver;
+  report.precond = spec.precond;
+  report.matrix = name;
+  report.rows = a.rows();
+  report.nnz = a.nnz();
+  return report;
+}
+
+} // namespace detail
+
 SolveReport solve(const SolveSpec& spec, SolverObserver* observer) {
   validate_spec(spec);
-  const SolverEntry& entry = solver_registry().get(spec.solver);
+  if (!spec.rhs_batch.empty())
+    throw Error("batched right-hand sides (rhs_batch) are solved through "
+                "SolveService::solve_batched, not esrp::solve");
 
   // Resolve the problem: borrowed matrix or registry-built one.
   TestProblem built;
@@ -271,7 +346,6 @@ SolveReport solve(const SolveSpec& spec, SolverObserver* observer) {
     a = &built.matrix;
     name = built.name;
   }
-  ESRP_CHECK_MSG(a->rows() == a->cols(), "solve() needs a square matrix");
 
   Vector rhs_storage;
   std::span<const real_t> b = spec.rhs;
@@ -279,23 +353,9 @@ SolveReport solve(const SolveSpec& spec, SolverObserver* observer) {
     rhs_storage = xp::make_rhs(*a);
     b = rhs_storage;
   }
-  ESRP_CHECK_MSG(static_cast<index_t>(b.size()) == a->rows(),
-                 "rhs size " << b.size() << " does not match matrix dimension "
-                             << a->rows());
-  ESRP_CHECK_MSG(spec.x0.empty() ||
-                     static_cast<index_t>(spec.x0.size()) == a->rows(),
-                 "x0 size " << spec.x0.size()
-                            << " does not match matrix dimension "
-                            << a->rows());
 
   const ThreadOverride threads(spec.threads);
-  SolveReport report = entry.run(SolveContext{*a, b, spec, observer});
-  report.solver = spec.solver;
-  report.precond = spec.precond;
-  report.matrix = name;
-  report.rows = a->rows();
-  report.nnz = a->nnz();
-  return report;
+  return detail::run_resolved(spec, *a, name, b, observer, nullptr);
 }
 
 } // namespace esrp

@@ -1,10 +1,116 @@
 #include "api/solve_spec.hpp"
 
+#include <cmath>
+#include <limits>
+#include <utility>
+
 #include "api/registry.hpp"
 #include "common/error.hpp"
 #include "scenario/cluster_shape.hpp"
 
 namespace esrp {
+
+namespace {
+
+/// True when `s` points into `storage`'s buffer (the owning take_rhs path);
+/// used by the copy/move members to decide whether a span must be re-seated
+/// into the destination's own storage.
+bool points_into(std::span<const real_t> s, const Vector& storage) {
+  if (s.empty() || storage.empty()) return false;
+  return s.data() >= storage.data() &&
+         s.data() + s.size() <= storage.data() + storage.size();
+}
+
+/// Debug-build tripwire: overwrite freed owned storage with NaN so a span
+/// that outlived its RunSpec produces a loud validate_spec failure instead
+/// of silently reading reused memory. Release builds skip the sweep.
+void poison(Vector& storage) {
+#ifndef NDEBUG
+  for (real_t& v : storage)
+    v = std::numeric_limits<real_t>::quiet_NaN();
+#else
+  (void)storage;
+#endif
+}
+
+} // namespace
+
+void RunSpec::take_rhs(Vector v) {
+  rhs_storage_ = std::move(v);
+  rhs = rhs_storage_;
+}
+
+void RunSpec::take_x0(Vector v) {
+  x0_storage_ = std::move(v);
+  x0 = x0_storage_;
+}
+
+bool RunSpec::owns_rhs() const { return points_into(rhs, rhs_storage_); }
+
+bool RunSpec::owns_x0() const { return points_into(x0, x0_storage_); }
+
+RunSpec::RunSpec(const RunSpec& other)
+    : rhs(other.rhs),
+      x0(other.x0),
+      rhs_batch(other.rhs_batch),
+      failures(other.failures),
+      sdc_events(other.sdc_events),
+      sdc_threshold(other.sdc_threshold),
+      threads(other.threads),
+      rhs_storage_(other.rhs_storage_),
+      x0_storage_(other.x0_storage_) {
+  // Owning spans must follow the data into this copy's buffers; borrowed
+  // spans keep borrowing from wherever the source pointed.
+  if (other.owns_rhs()) rhs = rhs_storage_;
+  if (other.owns_x0()) x0 = x0_storage_;
+}
+
+RunSpec::RunSpec(RunSpec&& other) noexcept
+    : rhs(other.rhs),
+      x0(other.x0),
+      rhs_batch(std::move(other.rhs_batch)),
+      failures(std::move(other.failures)),
+      sdc_events(std::move(other.sdc_events)),
+      sdc_threshold(other.sdc_threshold),
+      threads(other.threads),
+      rhs_storage_(std::move(other.rhs_storage_)),
+      x0_storage_(std::move(other.x0_storage_)) {
+  // Vector's move transfers the buffer, so spans into the source storage
+  // already point at *our* storage; just clear the moved-from spans so the
+  // source cannot be used to reach the transferred data.
+  other.rhs = {};
+  other.x0 = {};
+}
+
+RunSpec& RunSpec::operator=(const RunSpec& other) {
+  if (this == &other) return *this;
+  RunSpec copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+RunSpec& RunSpec::operator=(RunSpec&& other) noexcept {
+  if (this == &other) return *this;
+  poison(rhs_storage_);
+  poison(x0_storage_);
+  rhs = other.rhs;
+  x0 = other.x0;
+  rhs_batch = std::move(other.rhs_batch);
+  failures = std::move(other.failures);
+  sdc_events = std::move(other.sdc_events);
+  sdc_threshold = other.sdc_threshold;
+  threads = other.threads;
+  rhs_storage_ = std::move(other.rhs_storage_);
+  x0_storage_ = std::move(other.x0_storage_);
+  other.rhs = {};
+  other.x0 = {};
+  return *this;
+}
+
+RunSpec::~RunSpec() {
+  poison(rhs_storage_);
+  poison(x0_storage_);
+}
 
 index_t SolveReport::wasted_iterations() const {
   index_t total = 0;
@@ -52,6 +158,40 @@ void validate_spec(const SolveSpec& spec) {
             "\" has no explicit node-local action matrix, which the "
             "distributed solvers require (use one of: " +
             valid + ")");
+  }
+
+#ifndef NDEBUG
+  // Liveness tripwire for the borrowed-span footgun: owned RunSpec storage
+  // is NaN-poisoned on destruction, so a spec whose rhs/x0 span outlived
+  // its owner fails here instead of corrupting the solve.
+  for (const real_t v : spec.rhs) {
+    if (std::isnan(v))
+      invalid("rhs contains NaN — if the data was owned via take_rhs, its "
+              "RunSpec has likely been destroyed (see the lifetime note in "
+              "api/solve_spec.hpp)");
+  }
+  for (const real_t v : spec.x0) {
+    if (std::isnan(v))
+      invalid("x0 contains NaN — if the data was owned via take_x0, its "
+              "RunSpec has likely been destroyed (see the lifetime note in "
+              "api/solve_spec.hpp)");
+  }
+#endif
+
+  if (!spec.rhs_batch.empty()) {
+    if (!solver.supports_batched_rhs)
+      invalid("\"" + spec.solver +
+              "\" does not support batched right-hand sides (rhs_batch); "
+              "use \"pcg\" through SolveService::solve_batched");
+    if (!spec.rhs.empty())
+      invalid("set either `rhs` (single system) or `rhs_batch` (batched "
+              "systems), not both");
+    for (std::size_t i = 0; i < spec.rhs_batch.size(); ++i) {
+      if (spec.rhs_batch[i].empty())
+        invalid("rhs_batch[" + std::to_string(i) + "] is empty");
+      if (spec.rhs_batch[i].size() != spec.rhs_batch.front().size())
+        invalid("rhs_batch vectors must all have the same length");
+    }
   }
 
   if (!(spec.rtol > 0)) invalid("rtol must be positive");

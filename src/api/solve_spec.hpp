@@ -8,8 +8,29 @@
 // preconditioner, or matrix generator becomes reachable from the CLI, the
 // examples, and the experiment harness by registering one factory.
 //
+// The spec is decomposed into three sub-structs along the service layer's
+// prepare/solve split (service/solve_service.hpp):
+//
+//   ProblemSpec  — what gets *prepared* once and amortized: the operator,
+//                  its partition shape, and the preconditioner factorization.
+//   SolverConfig — how to iterate: solver choice, tolerances, resilience
+//                  strategy, and cost-accounting knobs.
+//   RunSpec      — what varies per solve: right-hand side(s), initial
+//                  guess, fault schedule, and the thread budget.
+//
+// `SolveSpec` remains the flat all-in-one type (it inherits all three), so
+// every existing call site keeps compiling and `spec.rtol`-style member
+// access is unchanged. New code targeting the service layer should build the
+// sub-structs directly; the monolithic `SolveSpec` is retained for the
+// facade and will not grow new fields outside its three bases.
+//
 // Lifetime: the spans (`rhs`, `x0`) and the `matrix_data` pointer are
-// borrowed — they must stay alive for the duration of the solve() call.
+// borrowed by default — they must stay alive for the duration of the
+// solve() call. To hand ownership to the spec instead (safe across scopes,
+// queues, and sessions), use `RunSpec::take_rhs` / `RunSpec::take_x0`;
+// copies and moves of an owning spec re-point the spans into their own
+// storage, and debug builds poison freed storage with NaN so a dangling
+// span trips validate_spec's liveness check instead of corrupting a solve.
 #pragma once
 
 #include <span>
@@ -23,40 +44,50 @@
 
 namespace esrp {
 
-struct SolveSpec {
-  // --- problem ---------------------------------------------------------
+/// The amortizable part of a solve: everything `SolveService::prepare` turns
+/// into a cached `ProblemHandle` (assembled matrix, node partition,
+/// communication plans, factorized preconditioner). Two specs with equal
+/// fields prepare to the same handle (see service/plan_cache.hpp).
+struct ProblemSpec {
+  // --- operator --------------------------------------------------------
   /// Matrix registry key (api/registry.hpp): "emilia", "audikw",
   /// "poisson2d:NX,NY", "poisson3d:NX,NY,NZ", "laplace1d:N",
   /// "mm:<file.mtx>". Ignored when `matrix_data` is set.
   std::string matrix;
   /// In-memory matrix (for callers that assembled their own operator);
-  /// takes precedence over `matrix`.
+  /// takes precedence over `matrix`. Borrowed by the facade (must outlive
+  /// solve()); the service layer copies it into the prepared handle.
   const CsrMatrix* matrix_data = nullptr;
   /// Report label when `matrix_data` is used (defaults to "custom").
   std::string matrix_name;
-  /// Right-hand side; empty = the deterministic pseudo-random
-  /// xp::make_rhs(a) every experiment uses.
-  std::span<const real_t> rhs;
-  /// Initial guess; empty = zero vector.
-  std::span<const real_t> x0;
 
-  // --- solver ----------------------------------------------------------
-  /// Solver registry key: "pcg", "pipelined", "resilient-pcg",
-  /// "dist-pipelined".
-  std::string solver = "resilient-pcg";
+  // --- partition shape --------------------------------------------------
+  /// Simulated cluster size (paper: 128). Determines the block-row
+  /// partition, so it is part of the prepared problem, not the run.
+  rank_t nodes = 128;
+
+  // --- preconditioner ---------------------------------------------------
   /// Preconditioner registry key: "identity", "jacobi", "block-jacobi",
-  /// "ssor", "ic0".
+  /// "ssor", "ic0". The factorization is the expensive prepared artifact.
   std::string precond = "block-jacobi";
-  real_t rtol = 1e-8;        ///< convergence: ||r||_2 / ||b||_2 < rtol
-  index_t max_iterations = 0; ///< 0 = the solver's own default cap
-
-  // --- preconditioner parameters --------------------------------------
   index_t block_size = 10;  ///< block Jacobi block size (paper: 10)
   real_t ssor_omega = 1.0;  ///< SSOR relaxation factor, in (0, 2)
   real_t ic0_shift = 0.0;   ///< IC(0) diagonal shift
+};
 
-  // --- simulated cluster (distributed solvers only) --------------------
-  rank_t nodes = 128;          ///< simulated cluster size (paper: 128)
+/// How to iterate on a prepared problem: solver choice, convergence
+/// criteria, the resilience strategy, and cost-model accounting knobs.
+/// Changing these never forces a re-factorization (except `phi` and a
+/// distributed/sequential solver switch, which shape the prepared plans —
+/// the plan cache keys on those two derived facts).
+struct SolverConfig {
+  /// Solver registry key: "pcg", "pipelined", "resilient-pcg",
+  /// "dist-pipelined".
+  std::string solver = "resilient-pcg";
+  real_t rtol = 1e-8;        ///< convergence: ||r||_2 / ||b||_2 < rtol
+  index_t max_iterations = 0; ///< 0 = the solver's own default cap
+
+  // --- simulated cluster accounting (distributed solvers only) ----------
   /// Use xp::calibrated_cost (the paper-regime cost model) instead of the
   /// physical-default CostParams.
   bool calibrated_cost = true;
@@ -75,6 +106,32 @@ struct SolveSpec {
   PrecondFormulation formulation = PrecondFormulation::inverse;
   bool spare_nodes = true;        ///< false: survivors absorb failed ranks
   index_t residual_replacement = 0; ///< recompute r = b - A x every k iters
+};
+
+/// The per-solve inputs: right-hand side(s), initial guess, fault schedule,
+/// and the thread budget. Cheap to build per run; never cached.
+///
+/// `rhs` and `x0` are borrowed spans by default. `take_rhs` / `take_x0`
+/// switch them to owned storage: the RunSpec then carries the data across
+/// copies, moves, and asynchronous sessions, re-pointing the spans into the
+/// copy's own buffer. Debug builds poison owned storage with NaN on
+/// destruction, so a span that outlived its owner is caught by
+/// validate_spec's NaN scan instead of silently dereferencing freed memory.
+struct RunSpec {
+  /// Right-hand side; empty = the deterministic pseudo-random
+  /// xp::make_rhs(a) every experiment uses. Borrowed unless take_rhs
+  /// transferred ownership.
+  std::span<const real_t> rhs;
+  /// Initial guess; empty = zero vector. Borrowed unless take_x0
+  /// transferred ownership.
+  std::span<const real_t> x0;
+
+  /// Batched right-hand sides for `SolveService::solve_batched`: k systems
+  /// A x_i = b_i sharing every SpMV sweep (CsrMatrix::spmv_multi). Owned.
+  /// Mutually exclusive with `rhs`; only solvers whose registry entry sets
+  /// `supports_batched_rhs` accept a non-empty batch, and the facade
+  /// esrp::solve rejects it (batching is a service-layer feature).
+  std::vector<Vector> rhs_batch;
 
   /// Failure schedule: each event fires once at its iteration. Events must
   /// be fully specified (iteration >= 0, non-empty ranks) with pairwise
@@ -91,12 +148,51 @@ struct SolveSpec {
   /// residual-replacement step flags a corruption.
   real_t sdc_threshold = 1e-3;
 
-  // --- execution -------------------------------------------------------
   /// Kernel threads for this solve: -1 = keep the current global setting,
-  /// 0 = all hardware threads, n = exactly n. The previous setting is
-  /// restored when solve() returns.
+  /// 0 = all hardware threads, n = exactly n. Through the facade the
+  /// previous *global* setting is restored when solve() returns; through
+  /// the service layer this is a per-session thread budget that never
+  /// touches the global setting (parallel.hpp ThreadBudget).
   int threads = -1;
+
+  /// Move `v` into owned storage and point `rhs` at it. The data now lives
+  /// exactly as long as this RunSpec (and its copies), closing the
+  /// borrowed-span lifetime footgun.
+  void take_rhs(Vector v);
+  /// Move `v` into owned storage and point `x0` at it.
+  void take_x0(Vector v);
+
+  /// True when `rhs` points into this spec's own storage (take_rhs path).
+  bool owns_rhs() const;
+  /// True when `x0` points into this spec's own storage (take_x0 path).
+  bool owns_x0() const;
+
+  RunSpec() = default;
+  RunSpec(const RunSpec& other);
+  RunSpec(RunSpec&& other) noexcept;
+  RunSpec& operator=(const RunSpec& other);
+  RunSpec& operator=(RunSpec&& other) noexcept;
+  ~RunSpec();
+
+private:
+  // Owned backing stores for the take_rhs/take_x0 path; empty while the
+  // spans borrow. Copies re-point the public spans into their own buffers
+  // iff the source spans pointed into the source's buffers (a span the
+  // caller re-seated to external data is copied verbatim).
+  Vector rhs_storage_;
+  Vector x0_storage_;
 };
+
+/// The historical flat spec — all three sub-structs in one type, so every
+/// pre-split call site (`spec.matrix`, `spec.rtol`, `spec.rhs`, ...)
+/// compiles unchanged.
+///
+/// Deprecation note: new code should prefer the sub-structs — build a
+/// ProblemSpec + SolverConfig once, `SolveService::prepare` them, and issue
+/// RunSpecs against the handle (service/solve_service.hpp). SolveSpec stays
+/// as the facade's and the CLI's declarative surface, and any SolveSpec
+/// slices implicitly to each of its three bases.
+struct SolveSpec : ProblemSpec, SolverConfig, RunSpec {};
 
 /// One result type for every solver. Fields a solver does not produce stay
 /// at their defaults: sequential solvers leave `nodes` = 0, `modeled_time`
@@ -156,9 +252,10 @@ public:
 
 /// Check every invariant of a spec that can be checked without building the
 /// problem: key existence in all three registries (with "did you mean"
-/// suggestions), positive tolerances/intervals/sizes, phi vs nodes, and a
-/// well-formed failure schedule. Throws esrp::Error; solve() calls this
-/// first.
+/// suggestions), positive tolerances/intervals/sizes, phi vs nodes, a
+/// well-formed failure schedule, and — in debug builds — a NaN scan of
+/// rhs/x0 that catches spans whose owning RunSpec has been destroyed.
+/// Throws esrp::Error; solve() calls this first.
 void validate_spec(const SolveSpec& spec);
 
 } // namespace esrp

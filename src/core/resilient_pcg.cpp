@@ -60,17 +60,35 @@ ResilienceEngine::Config classic_engine_config() {
 } // namespace
 
 ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
-                           SimCluster& cluster, ResilienceOptions opts)
+                           SimCluster& cluster, ResilienceOptions opts,
+                           const SpmvPlan* shared_plan,
+                           const AspmvPlan* shared_aug)
     : a_(&a),
       precond_(&precond),
       cluster_(&cluster),
       opts_(opts),
-      plan_(std::make_unique<SpmvPlan>(a, cluster.partition())),
-      aug_(std::make_unique<AspmvPlan>(*plan_, opts.phi)),
-      engine_(std::make_unique<ExchangeEngine>(a, *plan_, cluster)),
       resilience_(opts, cluster.partition(), classic_engine_config()) {
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(a.rows() == cluster.partition().global_size());
+  if (shared_plan != nullptr) {
+    ESRP_CHECK_MSG(&shared_plan->partition() == &cluster.partition(),
+                   "shared SpmvPlan was built on a different partition than "
+                   "the cluster's");
+    plan_ = shared_plan;
+  } else {
+    owned_plan_ = std::make_unique<SpmvPlan>(a, cluster.partition());
+    plan_ = owned_plan_.get();
+  }
+  if (shared_aug != nullptr) {
+    ESRP_CHECK_MSG(&shared_aug->base() == plan_ && shared_aug->phi() == opts.phi,
+                   "shared AspmvPlan does not match the SpMV plan / phi of "
+                   "this solve");
+    aug_ = shared_aug;
+  } else {
+    owned_aug_ = std::make_unique<AspmvPlan>(*plan_, opts.phi);
+    aug_ = owned_aug_.get();
+  }
+  engine_ = std::make_unique<ExchangeEngine>(a, *plan_, cluster);
   ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
                  "the distributed solver requires a preconditioner with an "
                  "explicit action matrix (e.g. block Jacobi)");
@@ -133,8 +151,12 @@ void ResilientPcg::repartition(std::span<const rank_t> failed) {
   cluster_->set_partition(*owned_part_);
   const BlockRowPartition& np = *owned_part_;
 
-  plan_ = std::make_unique<SpmvPlan>(*a_, np);
-  aug_ = std::make_unique<AspmvPlan>(*plan_, opts_.phi);
+  // Any borrowed (shared) plans refer to the old partition; from here on
+  // the solver owns its plans.
+  owned_plan_ = std::make_unique<SpmvPlan>(*a_, np);
+  plan_ = owned_plan_.get();
+  owned_aug_ = std::make_unique<AspmvPlan>(*plan_, opts_.phi);
+  aug_ = owned_aug_.get();
   engine_ = std::make_unique<ExchangeEngine>(*a_, *plan_, *cluster_);
   build_precond_blocks();
 

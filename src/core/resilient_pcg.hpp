@@ -67,8 +67,18 @@ public:
   /// `precond` must outlive the solver and must expose an explicit action
   /// matrix whose rows are node-local (block Jacobi qualifies); this is
   /// required by both the distributed application and the reconstruction.
+  ///
+  /// `shared_plan` / `shared_aug` (optional, service layer) inject plans a
+  /// prepared ProblemHandle already built for this (matrix, partition, phi):
+  /// the solver borrows instead of rebuilding — they must outlive it, be
+  /// built on `cluster.partition()`, and (for the aug plan) carry
+  /// `opts.phi`. Plans are deterministic functions of those inputs, so
+  /// borrowed and freshly built plans are interchangeable bitwise. After a
+  /// no-spare repartition the solver switches to its own rebuilt plans.
   ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
-               SimCluster& cluster, ResilienceOptions opts);
+               SimCluster& cluster, ResilienceOptions opts,
+               const SpmvPlan* shared_plan = nullptr,
+               const AspmvPlan* shared_aug = nullptr);
 
   /// Solve A x = b from the zero initial guess (or `x0` when given).
   ResilientSolveResult solve(std::span<const real_t> b,
@@ -157,8 +167,13 @@ private:
   SimCluster* cluster_;
   ResilienceOptions opts_;
   std::unique_ptr<BlockRowPartition> owned_part_; ///< set after repartition
-  std::unique_ptr<SpmvPlan> plan_;
-  std::unique_ptr<AspmvPlan> aug_;
+  // Plans: borrowed from a prepared handle, or owned. `plan_`/`aug_` are
+  // the single source of truth; the unique_ptrs are only set when this
+  // solver built (or rebuilt, after repartition) the plans itself.
+  std::unique_ptr<SpmvPlan> owned_plan_;
+  std::unique_ptr<AspmvPlan> owned_aug_;
+  const SpmvPlan* plan_ = nullptr;
+  const AspmvPlan* aug_ = nullptr;
   std::unique_ptr<ExchangeEngine> engine_;
   ResilienceEngine resilience_;
   std::vector<CsrMatrix> precond_local_; ///< node-diagonal blocks of P

@@ -32,6 +32,11 @@ std::atomic<int> g_num_threads{initial_thread_count()};
 std::mutex g_pool_mu;
 std::unique_ptr<ThreadPool> g_pool; // workers = num_threads() - 1
 
+// Per-thread budget override (ThreadBudget); 0 = inactive, fall through to
+// the global count. Pool workers never install a budget, so nested kernels
+// they execute see the global setting.
+thread_local int t_thread_budget = 0;
+
 } // namespace
 
 int hardware_threads() {
@@ -39,7 +44,21 @@ int hardware_threads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-int num_threads() { return g_num_threads.load(std::memory_order_relaxed); }
+int num_threads() {
+  if (t_thread_budget > 0) return t_thread_budget;
+  return g_num_threads.load(std::memory_order_relaxed);
+}
+
+ThreadBudget::ThreadBudget(int n) {
+  if (n <= 0) return; // inactive: the global setting applies
+  saved_ = t_thread_budget;
+  t_thread_budget = n;
+  active_ = true;
+}
+
+ThreadBudget::~ThreadBudget() {
+  if (active_) t_thread_budget = saved_;
+}
 
 void set_num_threads(int n) {
   ESRP_CHECK_MSG(n >= 0, "thread count must be >= 0 (0 = hardware)");
@@ -56,11 +75,17 @@ void set_num_threads(int n) {
 ThreadPool& global_pool() {
   // The pool is created by set_num_threads; reaching here with
   // num_threads() > 1 and no pool means the count came from the
-  // environment default, so build it on first use. Taken once per parallel
-  // region, the lock is noise next to even one task's work.
+  // environment default or a ThreadBudget, so build it on first use. Sized
+  // by the *global* count (never a per-thread budget): a budget caps one
+  // session's fan-out, it must not bake itself into the shared worker
+  // supply. A zero-worker pool is legal — budgeted kernels then run on the
+  // session thread via TaskGroup helping, bitwise identically (fixed-grain
+  // chunking does not depend on where chunks execute). Taken once per
+  // parallel region, the lock is noise next to even one task's work.
   std::lock_guard<std::mutex> lk(g_pool_mu);
   if (g_pool == nullptr)
-    g_pool = std::make_unique<ThreadPool>(num_threads() - 1);
+    g_pool = std::make_unique<ThreadPool>(
+        g_num_threads.load(std::memory_order_relaxed) - 1);
   return *g_pool;
 }
 

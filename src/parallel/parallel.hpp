@@ -39,6 +39,33 @@ void set_num_threads(int n);
 /// std::thread::hardware_concurrency(), never less than 1.
 int hardware_threads();
 
+/// RAII per-thread kernel-thread budget: while alive (with n >= 1),
+/// num_threads() returns n *on this thread only* — parallel kernels issued
+/// from it fan out to at most n executors — without touching the global
+/// setting or resizing the shared pool. This is how SolveService runs N
+/// concurrent sessions: each session thread caps its own fan-out while the
+/// pool keeps serving everyone. Budgets nest (the innermost wins) and
+/// n <= 0 constructs an inactive budget (global setting applies).
+///
+/// Determinism: all reductions use fixed grains (kReduceGrain), so chunk
+/// boundaries depend only on the range — a solve under a fixed budget B is
+/// bitwise identical run-to-run, and identical to a solve at global thread
+/// count B, regardless of what other sessions do concurrently. (The usual
+/// caveat applies: budgets of 1 take the single-chunk serial path, so B = 1
+/// and B >= 2 differ on ranges longer than the grain, exactly like the
+/// global setting.)
+class ThreadBudget {
+public:
+  explicit ThreadBudget(int n);
+  ~ThreadBudget();
+  ThreadBudget(const ThreadBudget&) = delete;
+  ThreadBudget& operator=(const ThreadBudget&) = delete;
+
+private:
+  int saved_ = 0;
+  bool active_ = false;
+};
+
 /// The process-wide pool behind parallel_for/parallel_reduce; it holds
 /// num_threads()-1 workers. Only meaningful when num_threads() > 1.
 ThreadPool& global_pool();

@@ -36,14 +36,28 @@ ResilienceEngine::Config pipelined_engine_config() {
 DistPipelinedPcg::DistPipelinedPcg(const CsrMatrix& a,
                                    const Preconditioner& precond,
                                    SimCluster& cluster,
-                                   DistPipelinedOptions opts)
+                                   DistPipelinedOptions opts,
+                                   const SpmvPlan* shared_plan,
+                                   const AspmvPlan* shared_aug)
     : a_(&a),
       precond_(&precond),
       cluster_(&cluster),
       opts_(opts),
+      shared_plan_(shared_plan),
+      shared_aug_(shared_aug),
       resilience_(opts, cluster.partition(), pipelined_engine_config()) {
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(a.rows() == cluster.partition().global_size());
+  if (shared_plan_ != nullptr)
+    ESRP_CHECK_MSG(&shared_plan_->partition() == &cluster.partition(),
+                   "shared SpmvPlan was built on a different partition than "
+                   "the cluster's");
+  if (shared_aug_ != nullptr)
+    ESRP_CHECK_MSG(shared_plan_ != nullptr &&
+                       &shared_aug_->base() == shared_plan_ &&
+                       shared_aug_->phi() == opts_.phi,
+                   "shared AspmvPlan does not match the SpMV plan / phi of "
+                   "this solve");
   ESRP_CHECK(precond.dim() == a.rows());
   ESRP_CHECK_MSG(precond.action_matrix() != nullptr,
                  "distributed pipelined PCG requires an explicit "
@@ -70,12 +84,19 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
   ESRP_CHECK(static_cast<index_t>(b.size()) == n);
   const double model_t0 = cluster_->modeled_time();
 
-  const SpmvPlan plan(*a_, part);
+  // Borrow the prepared plans when a handle injected them; otherwise build
+  // per call as always (same inputs, bitwise-identical plans).
+  std::optional<SpmvPlan> local_plan;
+  if (shared_plan_ == nullptr) local_plan.emplace(*a_, part);
+  const SpmvPlan& plan = shared_plan_ ? *shared_plan_ : *local_plan;
   ExchangeEngine engine(*a_, plan, *cluster_);
   // The augmentation plan only routes the ESRP storage stages' redundant
   // p copies: the regular iteration SpMV (input m) stays unaugmented.
-  std::optional<AspmvPlan> aug;
-  if (opts_.strategy == Strategy::esrp) aug.emplace(plan, opts_.phi);
+  std::optional<AspmvPlan> local_aug;
+  if (opts_.strategy == Strategy::esrp && shared_aug_ == nullptr)
+    local_aug.emplace(plan, opts_.phi);
+  const AspmvPlan* aug =
+      shared_aug_ ? shared_aug_ : (local_aug ? &*local_aug : nullptr);
 
   // Node-local preconditioner blocks (same requirement as ResilientPcg).
   std::vector<CsrMatrix> p_local;

@@ -59,8 +59,16 @@ struct DistPipelinedResult {
 
 class DistPipelinedPcg {
 public:
+  /// `shared_plan` / `shared_aug` (optional, service layer) inject plans a
+  /// prepared ProblemHandle built for this (matrix, partition, phi); the
+  /// solver then borrows them in every solve() instead of rebuilding per
+  /// call. They must outlive the solver, be built on `cluster.partition()`,
+  /// and match `opts.phi` (aug). Plans are deterministic functions of those
+  /// inputs, so borrowed and per-call-built plans solve bitwise identically.
   DistPipelinedPcg(const CsrMatrix& a, const Preconditioner& precond,
-                   SimCluster& cluster, DistPipelinedOptions opts);
+                   SimCluster& cluster, DistPipelinedOptions opts,
+                   const SpmvPlan* shared_plan = nullptr,
+                   const AspmvPlan* shared_aug = nullptr);
 
   DistPipelinedResult solve(std::span<const real_t> b);
 
@@ -86,6 +94,8 @@ private:
   const Preconditioner* precond_;
   SimCluster* cluster_;
   DistPipelinedOptions opts_;
+  const SpmvPlan* shared_plan_ = nullptr;  ///< borrowed; may be null
+  const AspmvPlan* shared_aug_ = nullptr;  ///< borrowed; may be null
   ResilienceEngine resilience_;
   std::function<void(index_t, real_t)> progress_;
 };

@@ -1,0 +1,50 @@
+#include "service/plan_cache.hpp"
+
+#include "service/problem_handle.hpp"
+
+namespace esrp {
+
+PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::shared_ptr<const ProblemHandle> PlanCache::find(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second); // refresh recency
+  return it->second->second;
+}
+
+void PlanCache::insert(const std::string& key,
+                       std::shared_ptr<const ProblemHandle> handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(handle);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(handle));
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{hits_, misses_, evictions_, lru_.size(), capacity_};
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+} // namespace esrp

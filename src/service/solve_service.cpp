@@ -1,0 +1,184 @@
+#include "service/solve_service.hpp"
+
+#include <utility>
+
+#include "api/registry.hpp"
+#include "api/solve.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "common/vec.hpp"
+#include "parallel/parallel.hpp"
+#include "solver/batched_pcg.hpp"
+
+namespace esrp {
+
+namespace {
+
+/// RunSpec::threads / SessionOptions::threads -> ThreadBudget argument:
+/// negative defers to the caller's ambient setting (inactive budget), 0
+/// pins the hardware concurrency, n pins exactly n. Mirrors the facade's
+/// ThreadOverride semantics, but as a thread-local budget so concurrent
+/// sessions never touch the global count.
+int resolve_budget(int threads) {
+  if (threads < 0) return 0; // ThreadBudget(0) is inactive
+  if (threads == 0) return hardware_threads();
+  return threads;
+}
+
+} // namespace
+
+SolveService::SolveService(ServiceOptions opts)
+    : opts_(opts), cache_(opts.cache_capacity) {
+  if (opts_.max_sessions < 1)
+    throw Error("ServiceOptions::max_sessions must be >= 1, got " +
+                std::to_string(opts_.max_sessions));
+}
+
+SolveService::~SolveService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : sessions_) t.join();
+}
+
+PrepareResult SolveService::prepare(const ProblemSpec& problem,
+                                    const SolverConfig& config) {
+  const std::string key = ProblemHandle::content_key(problem, config);
+  if (auto cached = cache_.find(key)) return PrepareResult{cached, true};
+  auto handle = ProblemHandle::build(problem, config);
+  cache_.insert(key, handle);
+  return PrepareResult{handle, false};
+}
+
+SolveSpec SolveService::assemble(const ProblemHandle& handle,
+                                 const RunSpec& run) const {
+  SolveSpec spec;
+  static_cast<ProblemSpec&>(spec) = handle.problem();
+  static_cast<SolverConfig&>(spec) = handle.config();
+  static_cast<RunSpec&>(spec) = run; // owning spans re-point (solve_spec.hpp)
+  // The handle's matrix is the problem; the thread budget is applied by the
+  // caller (never through the facade's global override).
+  spec.matrix_data = &handle.matrix();
+  spec.matrix_name = handle.name();
+  spec.threads = -1;
+  return spec;
+}
+
+SolveReport SolveService::solve(const ProblemHandle& handle, const RunSpec& run,
+                                SolverObserver* observer) const {
+  if (!run.rhs_batch.empty())
+    throw Error("RunSpec::rhs_batch is solved through "
+                "SolveService::solve_batched, not solve()");
+  const SolveSpec spec = assemble(handle, run);
+  validate_spec(spec);
+  const std::span<const real_t> b =
+      spec.rhs.empty() ? handle.default_rhs() : spec.rhs;
+  const ThreadBudget budget(resolve_budget(run.threads));
+  const PreparedParts parts = handle.parts();
+  return detail::run_resolved(spec, handle.matrix(), handle.name(), b,
+                              observer, &parts);
+}
+
+std::vector<SolveReport> SolveService::solve_batched(
+    const ProblemHandle& handle, const RunSpec& run) const {
+  const SolveSpec spec = assemble(handle, run);
+  validate_spec(spec); // enforces rhs_batch shape + solver capability
+  if (spec.rhs_batch.empty())
+    throw Error("solve_batched needs RunSpec::rhs_batch (use solve() for a "
+                "single right-hand side)");
+
+  const CsrMatrix& a = handle.matrix();
+  const std::size_t n = static_cast<std::size_t>(a.rows());
+  const std::size_t k = spec.rhs_batch.size();
+  for (const Vector& b : spec.rhs_batch)
+    ESRP_CHECK_MSG(b.size() == n,
+                   "rhs_batch entries must match the matrix dimension");
+  ESRP_CHECK_MSG(spec.x0.empty() || spec.x0.size() == n,
+                 "x0 must be empty or match the matrix dimension");
+
+  const ThreadBudget budget(resolve_budget(run.threads));
+
+  // One solution buffer per system; a non-empty x0 seeds every system, the
+  // same guess the corresponding single-RHS solves would use.
+  std::vector<Vector> xs(k, Vector(n, 0));
+  if (!spec.x0.empty())
+    for (Vector& x : xs) vec_copy(spec.x0, x);
+
+  std::vector<std::span<const real_t>> b_spans;
+  std::vector<std::span<real_t>> x_spans;
+  b_spans.reserve(k);
+  x_spans.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    b_spans.emplace_back(spec.rhs_batch[j]);
+    x_spans.emplace_back(xs[j]);
+  }
+
+  PcgOptions opts;
+  opts.rtol = spec.rtol;
+  opts.max_iterations = spec.max_iterations;
+  WallTimer timer;
+  BatchedPcgResult res =
+      batched_pcg_solve(a, b_spans, x_spans, &handle.precond(), opts);
+  const double wall = timer.seconds();
+
+  std::vector<SolveReport> reports(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    SolveReport& report = reports[j];
+    report.solver = spec.solver;
+    report.precond = spec.precond;
+    report.matrix = handle.name();
+    report.rows = a.rows();
+    report.nnz = a.nnz();
+    report.converged = res.per_rhs[j].converged;
+    report.iterations = res.per_rhs[j].iterations;
+    report.executed_iterations = res.per_rhs[j].iterations;
+    report.final_relres = res.per_rhs[j].final_relres;
+    report.flops = res.per_rhs[j].flops;
+    report.wall_seconds = wall; // the batch ran as one; every report gets it
+    report.x = std::move(xs[j]);
+  }
+  return reports;
+}
+
+std::future<SolveReport> SolveService::submit(
+    std::shared_ptr<const ProblemHandle> handle, RunSpec run,
+    SessionOptions session) {
+  ESRP_CHECK_MSG(handle != nullptr, "submit() needs a prepared handle");
+  auto promise = std::make_shared<std::promise<SolveReport>>();
+  std::future<SolveReport> future = promise->get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) throw Error("SolveService is shutting down");
+    while (static_cast<int>(sessions_.size()) < opts_.max_sessions)
+      sessions_.emplace_back([this] { session_loop(); });
+    jobs_.emplace_back([this, handle = std::move(handle), run = std::move(run),
+                        session, promise]() mutable {
+      try {
+        if (session.threads >= 0) run.threads = session.threads;
+        promise->set_value(solve(*handle, run));
+      } catch (...) {
+        promise->set_exception(std::current_exception());
+      }
+    });
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void SolveService::session_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return; // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+} // namespace esrp

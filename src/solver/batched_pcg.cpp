@@ -1,0 +1,160 @@
+#include "solver/batched_pcg.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fused.hpp"
+
+namespace esrp {
+
+namespace {
+
+/// Per-system iteration state. The vectors and the scalar recurrences are
+/// exactly pcg_solve's; only the SpMV is pooled across systems.
+struct RhsState {
+  Vector r, z, p, ap;
+  real_t bnorm = 0;
+  real_t rz = 0;
+  real_t rnorm = 0;
+};
+
+} // namespace
+
+BatchedPcgResult batched_pcg_solve(const CsrMatrix& a,
+                                   std::span<const std::span<const real_t>> bs,
+                                   std::span<const std::span<real_t>> xs,
+                                   const Preconditioner* precond,
+                                   const PcgOptions& opts) {
+  const index_t n = a.rows();
+  ESRP_CHECK(a.rows() == a.cols());
+  ESRP_CHECK(bs.size() == xs.size());
+  for (std::size_t j = 0; j < bs.size(); ++j) {
+    ESRP_CHECK(static_cast<index_t>(bs[j].size()) == n);
+    ESRP_CHECK(static_cast<index_t>(xs[j].size()) == n);
+  }
+  if (precond) ESRP_CHECK(precond->dim() == n);
+
+  const std::size_t k = bs.size();
+  BatchedPcgResult out;
+  out.per_rhs.resize(k);
+  if (k == 0) return out;
+
+  const index_t max_iter = opts.max_iterations > 0
+                               ? opts.max_iterations
+                               : 10 * std::max<index_t>(n, 1);
+
+  auto apply_precond = [&](PcgResult& result, std::span<const real_t> in,
+                           std::span<real_t> out_v) {
+    if (precond) {
+      precond->apply(in, out_v);
+      result.flops += precond->apply_flops();
+    } else {
+      vec_copy(in, out_v);
+    }
+  };
+
+  std::vector<RhsState> st(k);
+  std::vector<std::size_t> active;
+  active.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    st[j].bnorm = vec_norm2(bs[j]);
+    if (st[j].bnorm == real_t{0}) {
+      // b = 0: the solution is x = 0 (A is SPD, hence nonsingular) — same
+      // early-out as pcg_solve, independently per system.
+      vec_zero(xs[j]);
+      out.per_rhs[j].converged = true;
+      continue;
+    }
+    st[j].r.resize(static_cast<std::size_t>(n));
+    st[j].z.resize(static_cast<std::size_t>(n));
+    st[j].p.resize(static_cast<std::size_t>(n));
+    st[j].ap.resize(static_cast<std::size_t>(n));
+    active.push_back(j);
+  }
+  if (active.empty()) return out;
+
+  // Span scratch for the shared sweeps, rebuilt per sweep over the active
+  // subset (which only shrinks).
+  std::vector<std::span<const real_t>> in_spans(active.size());
+  std::vector<std::span<real_t>> out_spans(active.size());
+  std::vector<real_t> dots(active.size());
+
+  // r(0) = b - A x(0); z(0) = P r(0); p(0) = z(0) — one shared sweep for
+  // every initial residual, then pcg_solve's exact init kernels per system.
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    in_spans[i] = xs[active[i]];
+    out_spans[i] = st[active[i]].r;
+  }
+  a.spmv_multi(in_spans, out_spans);
+  ++out.shared_sweeps;
+  for (const std::size_t j : active) {
+    PcgResult& result = out.per_rhs[j];
+    result.flops += static_cast<double>(a.spmv_flops());
+    vec_sub(bs[j], st[j].r, st[j].r);
+    apply_precond(result, st[j].r, st[j].z);
+    vec_copy(st[j].z, st[j].p);
+    const auto [rz, rr] = vec_dot2(st[j].r, st[j].z, st[j].r, st[j].r);
+    st[j].rz = rz;
+    st[j].rnorm = std::sqrt(rr);
+    result.flops += 4.0 * static_cast<double>(n);
+  }
+
+  for (index_t it = 0; it < max_iter && !active.empty(); ++it) {
+    // Independent convergence checks; converged systems drop out of the
+    // batch without touching the survivors' state.
+    std::size_t keep = 0;
+    for (const std::size_t j : active) {
+      PcgResult& result = out.per_rhs[j];
+      result.final_relres = st[j].rnorm / st[j].bnorm;
+      if (result.final_relres < opts.rtol) {
+        result.converged = true;
+        result.iterations = it;
+        continue;
+      }
+      active[keep++] = j;
+    }
+    active.resize(keep);
+    if (active.empty()) break;
+
+    // ap_j = A p_j and p_j . A p_j for the whole batch in one matrix pass.
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      in_spans[i] = st[active[i]].p;
+      out_spans[i] = st[active[i]].ap;
+    }
+    a.spmv_multi_dot({in_spans.data(), keep}, {out_spans.data(), keep},
+                     {dots.data(), keep});
+    ++out.shared_sweeps;
+
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const std::size_t j = active[i];
+      PcgResult& result = out.per_rhs[j];
+      const real_t pap = dots[i];
+      ESRP_CHECK_MSG(pap > 0, "p^T A p = " << pap
+                                           << " <= 0 in batched system " << j
+                                           << ": matrix not SPD (or severe "
+                                              "breakdown)");
+      const real_t alpha = st[j].rz / pap;
+      fused_axpy2(xs[j], alpha, st[j].p, st[j].r, -alpha, st[j].ap);
+      apply_precond(result, st[j].r, st[j].z);
+      const auto [rz_next, rr_next] =
+          vec_dot2(st[j].r, st[j].z, st[j].r, st[j].r);
+      const real_t beta = rz_next / st[j].rz;
+      st[j].rz = rz_next;
+      vec_xpby(st[j].p, st[j].z, beta);
+      st[j].rnorm = std::sqrt(rr_next);
+      result.flops += static_cast<double>(a.spmv_flops()) +
+                      12.0 * static_cast<double>(n);
+    }
+  }
+
+  // Systems that exhausted the cap report exactly like pcg_solve's
+  // fallthrough: iterations = max_iter, final relres from the last state.
+  for (const std::size_t j : active) {
+    out.per_rhs[j].iterations = max_iter;
+    out.per_rhs[j].final_relres = st[j].rnorm / st[j].bnorm;
+  }
+  return out;
+}
+
+} // namespace esrp

@@ -1,0 +1,49 @@
+// Multi-RHS batched PCG: k systems A x_j = b_j advanced in lockstep, with
+// every per-RHS recurrence (alpha/beta updates, preconditioner applies,
+// reductions) performed by exactly the kernels pcg_solve uses, while the
+// expensive matrix sweep is shared across the batch through
+// CsrMatrix::spmv_multi_dot — one streaming pass over A per iteration
+// instead of k. This is the paper's communication-hiding idea (ref. [16])
+// turned into bandwidth hiding: the matrix bytes are the bottleneck, the
+// per-RHS vector work rides along in the same pass.
+//
+// Determinism / parity contract (pinned by tests/service/batched_solve_test):
+//   * each per-RHS trajectory is bitwise identical to an independent
+//     pcg_solve of that system — in particular batched k = 1 is bitwise
+//     identical to the single-RHS solver at every thread count;
+//   * per-RHS convergence is tracked independently: a converged system
+//     leaves the active set without perturbing the others' arithmetic.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "precond/preconditioner.hpp"
+#include "solver/pcg.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+struct BatchedPcgResult {
+  /// Per-system results, index-parallel to the input batch. `flops` counts
+  /// each system's own arithmetic (identical to an independent pcg_solve);
+  /// the sweep sharing saves memory traffic, not flops.
+  std::vector<PcgResult> per_rhs;
+  /// Shared multi-RHS matrix passes performed (init sweep + one per
+  /// iteration in which any system was still active). An independent-solves
+  /// run would have cost the sum of per-RHS (iterations + 1) passes.
+  index_t shared_sweeps = 0;
+};
+
+/// Solve the k systems A x_j = b_j in one batched run. `xs[j]` carries the
+/// initial guess in and the solution out; `precond` may be nullptr
+/// (identity) and is applied per RHS. All systems share `opts` (tolerance
+/// and iteration cap).
+BatchedPcgResult batched_pcg_solve(const CsrMatrix& a,
+                                   std::span<const std::span<const real_t>> bs,
+                                   std::span<const std::span<real_t>> xs,
+                                   const Preconditioner* precond,
+                                   const PcgOptions& opts = {});
+
+} // namespace esrp

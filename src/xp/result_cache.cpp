@@ -37,7 +37,11 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
 
 std::optional<RunOutcome> ResultCache::lookup(const std::string& key) const {
   const auto it = entries_.find(key);
-  if (it == entries_.end()) return std::nullopt;
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
   return it->second;
 }
 

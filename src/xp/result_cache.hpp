@@ -6,6 +6,7 @@
 // results are identical.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
@@ -16,6 +17,15 @@ namespace esrp::xp {
 
 class ResultCache {
 public:
+  /// Traffic counters, mirroring service/plan_cache.hpp so both caches
+  /// report through the same vocabulary. lookup() counts one hit or miss;
+  /// the disk cache never evicts.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t size = 0;
+  };
+
   /// Opens (or creates on first store) the cache at `path`. The default
   /// path is "$ESRP_CACHE_DIR/xp_cache.tsv" or "./xp_cache.tsv".
   explicit ResultCache(std::string path = default_path());
@@ -33,9 +43,13 @@ public:
 
   std::size_t size() const { return entries_.size(); }
 
+  Stats stats() const { return Stats{hits_, misses_, entries_.size()}; }
+
 private:
   std::string path_;
   std::map<std::string, RunOutcome> entries_;
+  mutable std::uint64_t hits_ = 0;   ///< lookup() is const; counters aren't
+  mutable std::uint64_t misses_ = 0; ///< observable state
 };
 
 } // namespace esrp::xp

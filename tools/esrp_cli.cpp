@@ -27,6 +27,7 @@
 #include "scenario/cluster_shape.hpp"
 #include "scenario/failure_process.hpp"
 #include "scenario/kv_params.hpp"
+#include "service/solve_service.hpp"
 #include "xp/experiment.hpp"
 
 namespace {
@@ -83,6 +84,11 @@ constexpr OptionSpec kOptions[] = {
     {"--threads", "N",
      "kernel threads (default $ESRP_NUM_THREADS or 1;\n"
      "                    0 = all hardware threads)"},
+    {"--repeat", "N",
+     "run the solve N times through the SolveService\n"
+     "                    prepare/solve split, re-using one prepared handle\n"
+     "                    (matrix, plans, factorization) across runs, and\n"
+     "                    print the plan-cache statistics (default 1)"},
     {"--no-spares", nullptr,
      "recover onto survivors (resilient-pcg ESRP only)"},
     {"--list", nullptr, "print the registered solvers, preconditioners,\n"
@@ -225,6 +231,16 @@ int main(int argc, char** argv) {
     // its trajectory — which places the failure — is only comparable to
     // the main solve's at the same thread count.
     set_num_threads(static_cast<int>(n));
+  }
+
+  int repeat = 1;
+  if (args.count("--repeat")) {
+    const std::string& v = args.at("--repeat");
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (v.empty() || end == nullptr || *end != '\0' || n < 1)
+      usage("--repeat must be a positive integer");
+    repeat = static_cast<int>(n);
   }
 
   spec.nodes = static_cast<rank_t>(std::atoi(get("--nodes", "128").c_str()));
@@ -378,7 +394,35 @@ int main(int argc, char** argv) {
               spec.nodes)});
     }
 
-    const SolveReport res = esrp::solve(spec);
+    SolveReport res;
+    if (repeat > 1) {
+      // The prepare/solve split: the first prepare builds the handle
+      // (matrix, partition, plans, factorization), every later one is a
+      // plan-cache hit, and each run re-dispatches only the per-run half.
+      // Service-routed solves are bitwise identical to esrp::solve, so
+      // --repeat changes amortization, never the answer.
+      SolveService service;
+      for (int rep = 0; rep < repeat; ++rep) {
+        const PrepareResult prep = service.prepare(spec);
+        res = service.solve(*prep.handle, spec);
+        if (!quiet)
+          std::printf("run %d/%d:       converged=%d iterations=%lld "
+                      "wall=%.4f s (prepare: cache %s)\n",
+                      rep + 1, repeat, res.converged ? 1 : 0,
+                      static_cast<long long>(res.iterations),
+                      res.wall_seconds, prep.cache_hit ? "hit" : "miss");
+      }
+      const PlanCache::Stats cache = service.cache_stats();
+      if (!quiet)
+        std::printf("plan cache:    %llu hit(s), %llu miss(es), "
+                    "%llu eviction(s), %zu resident\n",
+                    static_cast<unsigned long long>(cache.hits),
+                    static_cast<unsigned long long>(cache.misses),
+                    static_cast<unsigned long long>(cache.evictions),
+                    cache.size);
+    } else {
+      res = esrp::solve(spec);
+    }
     const bool distributed = res.nodes > 0;
 
     if (quiet) {
