@@ -119,6 +119,8 @@ index_t SolveReport::wasted_iterations() const {
 }
 
 double SolveReport::recovery_modeled_time() const {
+  // Serial fixed-order sum over this report's recovery records (a handful of
+  // entries, single thread); reproducible as-is. esrp-lint: allow(fp-accumulate)
   double total = 0;
   for (const RecoveryRecord& rec : recoveries) total += rec.modeled_time;
   return total;

@@ -1,0 +1,151 @@
+// Clang Thread Safety Analysis vocabulary plus the annotated synchronization
+// primitives every mutex-protected component of this library uses.
+//
+// The macros expand to clang's capability attributes under clang and to
+// nothing elsewhere, so GCC/MSVC builds are unaffected; the `analyze` CMake
+// preset (clang, -Wthread-safety -Werror=thread-safety) turns the contracts
+// into compile errors. See docs/static_analysis.md for the full toolchain.
+//
+// Standard-library mutexes carry no capability attributes (libstdc++ is not
+// annotated), so locking through them is invisible to the analysis. The
+// library therefore standardizes on the wrappers below:
+//
+//   esrp::Mutex     — annotated std::mutex (a "mutex" capability)
+//   esrp::MutexLock — scoped lock_guard over a Mutex
+//   esrp::CondVar   — condition variable waiting on a held Mutex
+//
+// esrp_lint's raw-mutex rule keeps it that way: std::mutex and
+// std::condition_variable outside this header fail the lint gate.
+//
+// Guarded members are declared as
+//
+//   std::deque<Job> queue_ ESRP_GUARDED_BY(mu_);
+//
+// and condition waits are written as explicit loops inside the locked scope
+// (never with a predicate lambda — the analysis cannot see that the lambda
+// runs under the lock):
+//
+//   MutexLock lock(mu_);
+//   while (!stop_ && queue_.empty()) cv_.wait(mu_);
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define ESRP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define ESRP_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+/// Declares a type to be a capability (e.g. a mutex).
+#define ESRP_CAPABILITY(x) ESRP_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define ESRP_SCOPED_CAPABILITY ESRP_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be read or written while holding the given mutex.
+#define ESRP_GUARDED_BY(x) ESRP_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the *pointee* is protected by the given mutex.
+#define ESRP_PT_GUARDED_BY(x) ESRP_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held by the caller.
+#define ESRP_REQUIRES(...) \
+  ESRP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (held on return).
+#define ESRP_ACQUIRE(...) \
+  ESRP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (held on entry).
+#define ESRP_RELEASE(...) \
+  ESRP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return value.
+#define ESRP_TRY_ACQUIRE(...) \
+  ESRP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock prevention).
+#define ESRP_EXCLUDES(...) ESRP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: the function is deliberately outside the analysis. Every
+/// use needs a comment justifying why.
+#define ESRP_NO_THREAD_SAFETY_ANALYSIS \
+  ESRP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace esrp {
+
+class CondVar;
+
+/// std::mutex with capability annotations, so clang can prove which locks
+/// protect which data. Same cost as the raw mutex — the wrapper is inline
+/// forwarding only.
+class ESRP_CAPABILITY("mutex") Mutex {
+public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ESRP_ACQUIRE() { mu_.lock(); }
+  void unlock() ESRP_RELEASE() { mu_.unlock(); }
+  bool try_lock() ESRP_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// Scoped lock over a Mutex (the lock_guard idiom). Constructing one tells
+/// the analysis the mutex is held for the rest of the scope.
+class ESRP_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex& mu) ESRP_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ESRP_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+private:
+  Mutex& mu_;
+};
+
+/// Condition variable tied to esrp::Mutex. wait()/wait_for() take the held
+/// mutex explicitly so the REQUIRES contract is checkable; there are no
+/// predicate overloads on purpose — a predicate lambda's guarded accesses
+/// are invisible to the analysis, so waits are written as explicit loops
+/// (see the header comment).
+class CondVar {
+public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `mu`, sleep, and re-acquire before returning.
+  /// Spurious wakeups happen; callers always re-check their condition.
+  void wait(Mutex& mu) ESRP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release(); // ownership stays with the caller's scope
+  }
+
+  /// wait() with a timeout; returns false on timeout.
+  template <class Rep, class Period>
+  bool wait_for(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      ESRP_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.mu_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lk, timeout);
+    lk.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+private:
+  std::condition_variable cv_;
+};
+
+} // namespace esrp

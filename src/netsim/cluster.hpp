@@ -99,11 +99,19 @@ private:
   const BlockRowPartition* part_;
   HeterogeneousCostModel cost_;
   CommLedger ledger_;
+  // Rank-concurrency contract (not expressible as a mutex capability, so it
+  // lives here instead of a GUARDED_BY annotation — docs/static_analysis.md):
+  // step_[r] is written only by the task that owns rank r in the current
+  // parallel region (the per-node loops partition ranks disjointly), and
+  // read only after the region's join. Everything else on this class is
+  // single-threaded by contract.
   std::vector<StepCounters> step_;
   double modeled_time_ = 0;
   // Atomic (relaxed) so concurrent add_compute calls on distinct ranks can
   // all mark the step dirty without a data race; the flops counters
-  // themselves are distinct objects per rank.
+  // themselves are distinct objects per rank. Never a double: accumulating
+  // into a shared atomic float would trade determinism for contention
+  // (esrp_lint's atomic-fp rule).
   std::atomic<bool> step_dirty_{false};
 };
 

@@ -3,8 +3,9 @@
 #include <cstdlib>
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.hpp"
 
 namespace esrp {
 
@@ -29,8 +30,9 @@ int initial_thread_count() {
 }
 
 std::atomic<int> g_num_threads{initial_thread_count()};
-std::mutex g_pool_mu;
-std::unique_ptr<ThreadPool> g_pool; // workers = num_threads() - 1
+Mutex g_pool_mu;
+// workers = num_threads() - 1
+std::unique_ptr<ThreadPool> g_pool ESRP_GUARDED_BY(g_pool_mu);
 
 // Per-thread budget override (ThreadBudget); 0 = inactive, fall through to
 // the global count. Pool workers never install a budget, so nested kernels
@@ -63,7 +65,7 @@ ThreadBudget::~ThreadBudget() {
 void set_num_threads(int n) {
   ESRP_CHECK_MSG(n >= 0, "thread count must be >= 0 (0 = hardware)");
   const int resolved = clamp_thread_count(n);
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(g_pool_mu);
   if (resolved == g_num_threads.load(std::memory_order_relaxed) &&
       (resolved == 1 || g_pool != nullptr))
     return;
@@ -82,7 +84,7 @@ ThreadPool& global_pool() {
   // session thread via TaskGroup helping, bitwise identically (fixed-grain
   // chunking does not depend on where chunks execute). Taken once per
   // parallel region, the lock is noise next to even one task's work.
-  std::lock_guard<std::mutex> lk(g_pool_mu);
+  MutexLock lk(g_pool_mu);
   if (g_pool == nullptr)
     g_pool = std::make_unique<ThreadPool>(
         g_num_threads.load(std::memory_order_relaxed) - 1);

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -34,7 +34,7 @@ bool ThreadPool::on_worker_thread() const { return tl_worker_pool == this; }
 void ThreadPool::submit(std::function<void()> job) {
   ESRP_CHECK(job != nullptr);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ESRP_CHECK_MSG(!stop_, "submit on a stopped ThreadPool");
     queue_.push_back(std::move(job));
   }
@@ -44,7 +44,7 @@ void ThreadPool::submit(std::function<void()> job) {
 bool ThreadPool::run_one() {
   std::function<void()> job;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     if (queue_.empty()) return false;
     job = std::move(queue_.front());
     queue_.pop_front();
@@ -58,8 +58,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(mu_);
       // Drain the queue before honoring stop_, so jobs enqueued before the
       // destructor ran are never dropped.
       if (queue_.empty()) return;
@@ -80,7 +80,7 @@ TaskGroup::~TaskGroup() {
 void TaskGroup::run(std::function<void()> fn) {
   ESRP_CHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     ++pending_;
   }
   try {
@@ -94,7 +94,7 @@ void TaskGroup::run(std::function<void()> fn) {
       finish_one(err);
     });
   } catch (...) {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     --pending_;
     throw;
   }
@@ -104,7 +104,7 @@ void TaskGroup::finish_one(std::exception_ptr err) {
   // Notify *inside* the lock: the waiter owns this group's storage and may
   // destroy it the moment it can observe pending_ == 0, which the lock
   // delays until this function no longer touches any member.
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (err && !first_error_) first_error_ = err;
   if (--pending_ == 0) done_cv_.notify_all();
 }
@@ -112,22 +112,22 @@ void TaskGroup::finish_one(std::exception_ptr err) {
 void TaskGroup::wait() {
   for (;;) {
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(mu_);
       if (pending_ == 0) break;
     }
     if (!pool_->run_one()) {
       // Nothing left to help with: the group's stragglers are running on
       // other threads. Block until finish_one reports the last completion.
       // The timeout re-checks the pool queue so a job enqueued by a
-      // straggler (nested fork) cannot strand us here.
-      std::unique_lock<std::mutex> lk(mu_);
-      done_cv_.wait_for(lk, std::chrono::milliseconds(1),
-                        [this] { return pending_ == 0; });
+      // straggler (nested fork) cannot strand us here. Spurious wakeups are
+      // fine: the outer loop re-checks pending_ and the queue.
+      MutexLock lk(mu_);
+      if (pending_ != 0) done_cv_.wait_for(mu_, std::chrono::milliseconds(1));
     }
   }
   std::exception_ptr err;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     err = first_error_;
     first_error_ = nullptr;
   }

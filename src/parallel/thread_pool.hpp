@@ -14,14 +14,14 @@
 //      joins every worker. Submitting to a stopped pool throws.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace esrp {
 
@@ -51,11 +51,11 @@ public:
 private:
   void worker_loop();
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  std::vector<std::thread> workers_;
-  bool stop_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ ESRP_GUARDED_BY(mu_);
+  std::vector<std::thread> workers_; ///< written in the ctor only; joined in ~
+  bool stop_ ESRP_GUARDED_BY(mu_) = false;
 };
 
 /// A set of jobs on one pool that is waited on as a unit. Reusable: after
@@ -83,10 +83,10 @@ private:
   void finish_one(std::exception_ptr err);
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable done_cv_;
-  std::size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mu_;
+  CondVar done_cv_;
+  std::size_t pending_ ESRP_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ ESRP_GUARDED_BY(mu_);
 };
 
 } // namespace esrp

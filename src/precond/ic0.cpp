@@ -1,7 +1,6 @@
 #include "precond/ic0.hpp"
 
 #include <cmath>
-#include <unordered_map>
 
 #include "common/error.hpp"
 #include "sparse/coo.hpp"

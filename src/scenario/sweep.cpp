@@ -152,6 +152,10 @@ SweepResult run_sweep(const ParamGrid& grid, const SweepOptions& opts) {
           cell.repetitions = opts.repetitions;
           const double t0 = result.reference_time.at(cell.cluster);
 
+          // Serial fixed-order aggregation across repetitions of one sweep
+          // cell; reps run in seed order on one thread, so the sum is
+          // reproducible without routing through parallel_reduce.
+          // esrp-lint: allow(fp-accumulate)
           double sum_overhead = 0, sum_wasted = 0, sum_failures = 0;
           for (int rep = 0; rep < opts.repetitions; ++rep) {
             const std::uint64_t seed =

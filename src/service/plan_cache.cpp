@@ -7,7 +7,7 @@ namespace esrp {
 PlanCache::PlanCache(std::size_t capacity) : capacity_(capacity) {}
 
 std::shared_ptr<const ProblemHandle> PlanCache::find(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
@@ -20,7 +20,7 @@ std::shared_ptr<const ProblemHandle> PlanCache::find(const std::string& key) {
 
 void PlanCache::insert(const std::string& key,
                        std::shared_ptr<const ProblemHandle> handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(handle);
@@ -37,12 +37,12 @@ void PlanCache::insert(const std::string& key,
 }
 
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return Stats{hits_, misses_, evictions_, lru_.size(), capacity_};
 }
 
 void PlanCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   lru_.clear();
   index_.clear();
 }

@@ -20,9 +20,10 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
+
+#include "common/thread_annotations.hpp"
 
 namespace esrp {
 
@@ -62,13 +63,15 @@ public:
 private:
   using Entry = std::pair<std::string, std::shared_ptr<const ProblemHandle>>;
 
-  mutable std::mutex mu_;
-  std::size_t capacity_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::list<Entry> lru_; ///< front = most recently used
-  std::map<std::string, std::list<Entry>::iterator> index_;
+  mutable Mutex mu_;
+  const std::size_t capacity_; ///< immutable after construction
+  std::uint64_t hits_ ESRP_GUARDED_BY(mu_) = 0;
+  std::uint64_t misses_ ESRP_GUARDED_BY(mu_) = 0;
+  std::uint64_t evictions_ ESRP_GUARDED_BY(mu_) = 0;
+  /// front = most recently used
+  std::list<Entry> lru_ ESRP_GUARDED_BY(mu_);
+  std::map<std::string, std::list<Entry>::iterator> index_
+      ESRP_GUARDED_BY(mu_);
 };
 
 } // namespace esrp

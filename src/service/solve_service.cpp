@@ -35,12 +35,16 @@ SolveService::SolveService(ServiceOptions opts)
 }
 
 SolveService::~SolveService() {
+  // Swap the workers out under the lock (sessions_ is guarded); join
+  // outside it so a session draining its last job can still take mu_.
+  std::vector<std::thread> sessions; // esrp-lint: allow(raw-thread)
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    sessions.swap(sessions_);
   }
   cv_.notify_all();
-  for (std::thread& t : sessions_) t.join();
+  for (std::thread& t : sessions) t.join(); // esrp-lint: allow(raw-thread)
 }
 
 PrepareResult SolveService::prepare(const ProblemSpec& problem,
@@ -149,7 +153,7 @@ std::future<SolveReport> SolveService::submit(
   auto promise = std::make_shared<std::promise<SolveReport>>();
   std::future<SolveReport> future = promise->get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) throw Error("SolveService is shutting down");
     while (static_cast<int>(sessions_.size()) < opts_.max_sessions)
       sessions_.emplace_back([this] { session_loop(); });
@@ -171,8 +175,8 @@ void SolveService::session_loop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && jobs_.empty()) cv_.wait(mu_);
       if (jobs_.empty()) return; // stop_ set and queue drained
       job = std::move(jobs_.front());
       jobs_.pop_front();

@@ -27,16 +27,15 @@
 // fixed budget.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "api/solve_spec.hpp"
+#include "common/thread_annotations.hpp"
 #include "service/plan_cache.hpp"
 #include "service/problem_handle.hpp"
 
@@ -112,11 +111,15 @@ private:
   ServiceOptions opts_;
   mutable PlanCache cache_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
-  std::vector<std::thread> sessions_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> jobs_ ESRP_GUARDED_BY(mu_);
+  // Lazily spawned by submit(); swapped out under the lock and joined in the
+  // destructor. Session workers are the one sanctioned std::thread use
+  // outside src/parallel (they multiplex solves, they are not kernel
+  // executors), blessed for esrp_lint below.
+  std::vector<std::thread> sessions_ ESRP_GUARDED_BY(mu_); // esrp-lint: allow(raw-thread)
+  bool stop_ ESRP_GUARDED_BY(mu_) = false;
 };
 
 } // namespace esrp

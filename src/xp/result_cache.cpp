@@ -36,6 +36,7 @@ ResultCache::ResultCache(std::string path) : path_(std::move(path)) {
 }
 
 std::optional<RunOutcome> ResultCache::lookup(const std::string& key) const {
+  MutexLock lock(mu_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -45,7 +46,20 @@ std::optional<RunOutcome> ResultCache::lookup(const std::string& key) const {
   return it->second;
 }
 
+std::size_t ResultCache::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  MutexLock lock(mu_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
 void ResultCache::store(const std::string& key, const RunOutcome& o) {
+  // The file append stays under the lock: interleaved appends from two
+  // threads would corrupt the TSV lines the next constructor parses.
+  MutexLock lock(mu_);
   entries_[key] = o;
   std::ofstream out(path_, std::ios::app);
   if (!out.is_open()) {

@@ -4,6 +4,14 @@
 // tab-separated text keyed by RunConfig::cache_key(); delete it to force
 // recomputation. The simulation is deterministic, so cached and fresh
 // results are identical.
+//
+// Thread-safe: one internal mutex guards the entry map, the traffic
+// counters, and the file append, so concurrent lookups/stores (parameter
+// sweeps fanning out runs) keep exact counts and an uncorrupted cache file.
+// get_or_run() deliberately drops the lock around the solve itself: two
+// threads that miss the same key both run the (deterministic, identical)
+// experiment and the second store wins — the lock is never held across
+// numeric work.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +19,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_annotations.hpp"
 #include "xp/experiment.hpp"
 
 namespace esrp::xp {
@@ -41,15 +50,16 @@ public:
   RunOutcome get_or_run(const CsrMatrix& a, std::span<const real_t> b,
                         const std::string& problem, const RunConfig& cfg);
 
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const;
 
-  Stats stats() const { return Stats{hits_, misses_, entries_.size()}; }
+  Stats stats() const;
 
 private:
-  std::string path_;
-  std::map<std::string, RunOutcome> entries_;
-  mutable std::uint64_t hits_ = 0;   ///< lookup() is const; counters aren't
-  mutable std::uint64_t misses_ = 0; ///< observable state
+  const std::string path_;
+  mutable Mutex mu_;
+  std::map<std::string, RunOutcome> entries_ ESRP_GUARDED_BY(mu_);
+  mutable std::uint64_t hits_ ESRP_GUARDED_BY(mu_) = 0;
+  mutable std::uint64_t misses_ ESRP_GUARDED_BY(mu_) = 0;
 };
 
 } // namespace esrp::xp

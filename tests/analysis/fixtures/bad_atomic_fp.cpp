@@ -1,0 +1,17 @@
+// Must-trip fixture for esrp_lint's atomic-fp rule: a double-typed atomic
+// accumulator. Concurrent fetch-adds commit in timing order, so the rounded
+// sum differs run to run — the exact failure mode the fixed-grain
+// parallel_reduce exists to prevent (and it is slow: every add is a CAS
+// loop on a contended cache line).
+#include <atomic>
+#include <cstddef>
+
+double racy_sum(const double* values, std::size_t n) {
+  std::atomic<double> total{0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    double expected = total.load();
+    while (!total.compare_exchange_weak(expected, expected + values[i])) {
+    }
+  }
+  return total.load();
+}

@@ -1,0 +1,20 @@
+// Must-trip fixture for esrp_lint's fp-accumulate rule: the canonical raw
+// dot-product loop (ISSUE: solver code summing doubles outside the blessed
+// fixed-grain reduction kernels) plus a std::accumulate over doubles. Under
+// threading this shape is exactly what loses bitwise reproducibility the
+// moment someone "parallelizes" it naively.
+#include <numeric>
+#include <vector>
+
+double raw_dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += a[i] * b[i]; // [fp-accumulate] raw accumulation loop
+  }
+  return sum;
+}
+
+double raw_norm1(const std::vector<double>& a) {
+  // [fp-accumulate] std::accumulate over doubles
+  return std::accumulate(a.begin(), a.end(), 0.0);
+}

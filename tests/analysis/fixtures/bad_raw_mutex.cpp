@@ -1,0 +1,27 @@
+// Must-trip fixture for esrp_lint's raw-mutex rule: std::mutex and a
+// predicate condition-variable wait. Functionally fine — but invisible to
+// clang's thread safety analysis (libstdc++ carries no capability
+// annotations), so nothing proves `queue_size` is only touched under the
+// lock. The annotated esrp::Mutex/CondVar wrappers exist so the analyze
+// preset can prove it.
+#include <condition_variable>
+#include <mutex>
+
+namespace {
+std::mutex mu;
+std::condition_variable cv;
+int queue_size = 0;
+} // namespace
+
+void push_one() {
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ++queue_size;
+  }
+  cv.notify_one();
+}
+
+void wait_nonempty() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [] { return queue_size > 0; });
+}

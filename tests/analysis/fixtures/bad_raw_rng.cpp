@@ -1,0 +1,13 @@
+// Must-trip fixture for esrp_lint's raw-rng rule: seeding from time() and
+// drawing from rand()/std::random_device. None of these reproduce across
+// runs or platforms, which breaks the seeded failure-trace contract of the
+// scenario engine (common/rng.hpp is the one blessed source of randomness).
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int draw_failure_iteration(int horizon) {
+  std::srand(static_cast<unsigned>(std::time(nullptr))); // wall-clock seed
+  std::random_device rd;                                 // hardware entropy
+  return (std::rand() + static_cast<int>(rd() % 7)) % horizon;
+}

@@ -1,0 +1,10 @@
+// Must-trip fixture for esrp_lint's raw-thread rule: a detached std::thread
+// outside src/parallel. Detached threads outlive every join point, so the
+// deterministic fork-join structure (ThreadPool/TaskGroup) that the bitwise
+// reproducibility contract leans on cannot see them.
+#include <thread>
+
+void fire_and_forget(void (*work)()) {
+  std::thread t(work);
+  t.detach();
+}

@@ -1,0 +1,14 @@
+// Must-trip fixture for esrp_lint's unordered-container rule: iterating an
+// unordered_map in solver-shaped code. The iteration order is
+// implementation-defined, so anything accumulated in it (here: a residual
+// contribution per rank) differs across standard libraries — the ordering
+// nondeterminism the golden-trajectory tests cannot tolerate.
+#include <unordered_map>
+
+double sum_contributions(const std::unordered_map<int, double>& by_rank) {
+  double total = 0;
+  for (const auto& [rank, value] : by_rank) {
+    total += value; // order of visitation is unspecified
+  }
+  return total;
+}

@@ -1,0 +1,48 @@
+// Blessing-marker fixture: one instance of each esrp_lint violation, every
+// one annotated with an inline `esrp-lint: allow(<rule>)` marker (same-line
+// and line-above placements both appear). The lint.fixture_allow_markers
+// test requires this file to scan CLEAN — pinning that a bless marker
+// silences exactly the named rule, so real blessed exceptions (e.g. the
+// SolveService session workers) stay expressible.
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <unordered_map> // esrp-lint: allow(unordered-container)
+#include <vector>
+
+// Same-line marker:
+double blessed_accumulate(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0); // esrp-lint: allow(fp-accumulate)
+}
+
+double blessed_loop(const std::vector<double>& v) {
+  double sum = 0;
+  for (double x : v) {
+    sum += x; // esrp-lint: allow(fp-accumulate)
+  }
+  return sum;
+}
+
+// Line-above marker placement:
+// esrp-lint: allow(unordered-container)
+int blessed_unordered(const std::unordered_map<int, int>& m, int k) {
+  return m.count(k) != 0 ? 1 : 0;
+}
+
+int blessed_rng() {
+  return std::rand(); // esrp-lint: allow(raw-rng)
+}
+
+void blessed_thread(void (*work)()) {
+  std::thread t(work); // esrp-lint: allow(raw-thread)
+  t.join();
+}
+
+// esrp-lint: allow(atomic-fp)
+std::atomic<double> blessed_atomic{0.0};
+
+// Multiple rules in one marker:
+// esrp-lint: allow(raw-mutex, unordered-container)
+std::mutex blessed_mutex;

@@ -1,0 +1,46 @@
+// Must-trip fixture for the clang-tidy layer: each function below violates a
+// check enabled in the repo's .clang-tidy (WarningsAsErrors: '*'), so running
+//   clang-tidy tests/analysis/fixtures/tidy_must_fail.cpp -- -std=c++20
+// must exit non-zero. The CI static-analysis job asserts exactly that; a
+// pass here would mean the tidy configuration has silently gone toothless.
+#include <string>
+#include <vector>
+
+// bugprone-integer-division: fractional part silently truncated before the
+// floating-point assignment.
+double average(int total, int count) {
+  return total / count;
+}
+
+// performance-unnecessary-value-param: large parameter copied on every call.
+std::size_t total_length(std::vector<std::string> names) {
+  std::size_t n = 0;
+  for (const auto& s : names) {
+    n += s.size();
+  }
+  return n;
+}
+
+// performance-for-range-copy: each element copied into the loop variable.
+std::size_t count_nonempty(const std::vector<std::string>& names) {
+  std::size_t n = 0;
+  for (auto s : names) {
+    if (!s.empty()) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// bugprone-copy-constructor-init: copy constructor forgets to copy the base.
+class Base {
+ public:
+  int id = 0;
+};
+
+class Derived : public Base {
+ public:
+  Derived() = default;
+  Derived(const Derived& other) : tag(other.tag) {}
+  int tag = 0;
+};

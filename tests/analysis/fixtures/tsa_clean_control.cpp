@@ -1,0 +1,32 @@
+// Control twin of tsa_guarded_by_violation.cpp: identical shape, but every
+// guarded access holds the mutex. Compiling clean under -Wthread-safety
+// -Werror=thread-safety proves the must-fail fixture fails because of the
+// guarded-by diagnostic, not because of an include path or syntax problem.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+  void deposit(int amount) {
+    esrp::MutexLock lock(mu_);
+    balance_ += amount;
+  }
+
+  int balance() const {
+    esrp::MutexLock lock(mu_);
+    return balance_;
+  }
+
+private:
+  mutable esrp::Mutex mu_;
+  int balance_ ESRP_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}

@@ -1,0 +1,33 @@
+// Must-fail fixture for clang thread safety analysis: `balance` is guarded
+// by `mu` but deposit() touches it without the lock. The `analyze` preset's
+// -Wthread-safety -Werror=thread-safety has to reject this TU — pinned by
+// the WILL_FAIL ctest analysis.tsa_violation_must_fail. The properly locked
+// twin (tsa_clean_control.cpp) compiles clean, proving the failure here is
+// the guarded-by diagnostic and not fixture plumbing.
+#include "common/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+public:
+  void deposit(int amount) {
+    balance_ += amount; // racy: mu_ not held — the analysis must flag this
+  }
+
+  int balance() const {
+    esrp::MutexLock lock(mu_);
+    return balance_;
+  }
+
+private:
+  mutable esrp::Mutex mu_;
+  int balance_ ESRP_GUARDED_BY(mu_) = 0;
+};
+
+} // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.balance();
+}
