@@ -29,6 +29,7 @@ std::vector<rank_t> halo_affine_destinations(const SpmvPlan& base, rank_t s,
   dests.reserve(static_cast<std::size_t>(phi));
   // Regular receivers sorted by descending traffic volume.
   std::vector<std::pair<std::size_t, rank_t>> by_volume;
+  by_volume.reserve(base.sends(s).size());
   for (const SendList& sl : base.sends(s))
     by_volume.emplace_back(sl.indices.size(), sl.to);
   std::sort(by_volume.begin(), by_volume.end(), [](const auto& a, const auto& b) {

@@ -73,6 +73,9 @@ IndexSet BlockRowPartition::owned_by(std::span<const rank_t> ranks) const {
   ESRP_CHECK_MSG(std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
                  "duplicate ranks in failure set");
   IndexSet out;
+  std::size_t total = 0;
+  for (rank_t s : sorted) total += static_cast<std::size_t>(end(s) - begin(s));
+  out.reserve(total);
   for (rank_t s : sorted) {
     for (index_t i = begin(s); i < end(s); ++i) out.push_back(i);
   }

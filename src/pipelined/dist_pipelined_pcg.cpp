@@ -100,6 +100,7 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
 
   // Node-local preconditioner blocks (same requirement as ResilientPcg).
   std::vector<CsrMatrix> p_local;
+  p_local.reserve(static_cast<std::size_t>(part.num_nodes()));
   for (rank_t s = 0; s < part.num_nodes(); ++s) {
     const IndexSet range = index_range(part.begin(s), part.end(s));
     p_local.push_back(precond_->action_matrix()->extract(range, range));

@@ -16,6 +16,7 @@ std::vector<index_t> uniform_blocks(index_t lo, index_t hi,
   const index_t nblocks = (len + max_block_size - 1) / max_block_size;
   const index_t base = len / nblocks;
   const index_t extra = len % nblocks;
+  starts.reserve(static_cast<std::size_t>(nblocks) + 1);
   index_t pos = lo;
   for (index_t b = 0; b < nblocks; ++b) {
     pos += base + (b < extra ? 1 : 0);

@@ -15,6 +15,10 @@ Ic0Preconditioner::Ic0Preconditioner(const CsrMatrix& a, real_t shift) {
   std::vector<index_t> row_ptr(static_cast<std::size_t>(n) + 1, 0);
   std::vector<index_t> col_idx;
   std::vector<real_t> values;
+  // A is symmetric (checked numerically below via the factorization), so
+  // the lower triangle incl. diagonal holds (nnz + n) / 2 entries.
+  col_idx.reserve(static_cast<std::size_t>(a.nnz() + n) / 2);
+  values.reserve(static_cast<std::size_t>(a.nnz() + n) / 2);
   for (index_t i = 0; i < n; ++i) {
     const auto cols = a.row_cols(i);
     const auto vals = a.row_vals(i);

@@ -253,6 +253,10 @@ CsrMatrix CsrMatrix::extract(std::span<const index_t> rowset,
   std::vector<index_t> row_ptr(rowset.size() + 1, 0);
   std::vector<index_t> col_idx;
   std::vector<real_t> values;
+  std::size_t nnz_bound = 0;
+  for (index_t gi : rowset) nnz_bound += row_cols(gi).size();
+  col_idx.reserve(nnz_bound);
+  values.reserve(nnz_bound);
   for (std::size_t r = 0; r < rowset.size(); ++r) {
     const index_t gi = rowset[r];
     ESRP_CHECK(gi >= 0 && gi < rows_);
@@ -288,6 +292,10 @@ CsrMatrix CsrMatrix::extract_excluding_cols(
   std::vector<index_t> row_ptr(rowset.size() + 1, 0);
   std::vector<index_t> col_idx;
   std::vector<real_t> values;
+  std::size_t nnz_bound = 0;
+  for (index_t gi : rowset) nnz_bound += row_cols(gi).size();
+  col_idx.reserve(nnz_bound);
+  values.reserve(nnz_bound);
   for (std::size_t r = 0; r < rowset.size(); ++r) {
     const index_t gi = rowset[r];
     ESRP_CHECK(gi >= 0 && gi < rows_);

@@ -19,6 +19,7 @@ void ConvergenceTrace::record(index_t iteration, real_t relres) {
 
 std::vector<index_t> ConvergenceTrace::rollback_steps() const {
   std::vector<index_t> out;
+  out.reserve(points_.size());
   for (std::size_t k = 1; k < points_.size(); ++k) {
     if (points_[k].iteration < points_[k - 1].iteration)
       out.push_back(points_[k].step);
