@@ -162,6 +162,11 @@ struct SolverEntry {
   /// SolveService::solve_batched) are implemented — the fused per-RHS
   /// recurrences sharing each SpMV sweep exist for "pcg" only.
   bool supports_batched_rhs = false;
+  /// Whether the shrink and rejoin recovery rungs (the "shrink" policy
+  /// preset: RecoveryPolicy::shrink_on_unrecoverable / rejoin) are
+  /// implemented — the solver must provide the resilience engine's
+  /// repartition and rejoin hooks. True for "resilient-pcg" only.
+  bool supports_shrink = false;
 };
 
 Registry<SolverEntry>& solver_registry();

@@ -169,6 +169,7 @@ SolveReport run_resilient(const SolveContext& ctx) {
   opts.precond_formulation = spec.formulation;
   opts.spare_nodes = spec.spare_nodes;
   opts.residual_replacement = spec.residual_replacement;
+  opts.policy = recovery_policy_from_string(spec.recovery_policy);
   opts.extra_failures = spec.failures;
   opts.sdc_events = spec.sdc_events;
   opts.sdc_threshold = spec.sdc_threshold;
@@ -234,6 +235,7 @@ SolveReport run_dist_pipelined(const SolveContext& ctx) {
   opts.precond_formulation = spec.formulation;
   opts.spare_nodes = spec.spare_nodes;
   opts.residual_replacement = spec.residual_replacement;
+  opts.policy = recovery_policy_from_string(spec.recovery_policy);
   opts.extra_failures = spec.failures;
 
   const SpmvPlan* plan =
@@ -287,7 +289,8 @@ Registry<SolverEntry>& solver_registry() {
                        .max_failure_events = SIZE_MAX,
                        .supports_esrp = true,
                        .supports_no_spare = true,
-                       .supports_sdc = true});
+                       .supports_sdc = true,
+                       .supports_shrink = true});
     r->add("dist-pipelined",
            "distributed pipelined PCG (communication hiding) with "
            "ESRP/IMCR recovery (ref. [16])",

@@ -213,34 +213,39 @@ void validate_spec(const SolveSpec& spec) {
   if (!(spec.ssor_omega > 0 && spec.ssor_omega < 2))
     invalid("ssor_omega must lie in (0, 2)");
 
-  for (std::size_t i = 0; i < spec.failures.size(); ++i) {
-    const FailureEvent& e = spec.failures[i];
-    if (!e.enabled())
-      invalid("failure event " + std::to_string(i) +
-              " is not fully specified (needs iteration >= 0 and ranks)");
-    for (std::size_t k = i + 1; k < spec.failures.size(); ++k) {
-      if (spec.failures[k].iteration == e.iteration)
-        invalid("failure events must have pairwise distinct iterations "
-                "(duplicate at iteration " +
-                std::to_string(e.iteration) + ")");
-    }
-  }
-
   if (solver.distributed) {
     if (spec.nodes < 1) invalid("nodes must be >= 1");
     if (spec.phi >= spec.nodes)
       invalid("phi = " + std::to_string(spec.phi) +
               " redundant copies need phi < nodes = " +
               std::to_string(spec.nodes));
-    for (const FailureEvent& e : spec.failures) {
-      if (e.ranks.size() >= static_cast<std::size_t>(spec.nodes))
-        invalid("a failure event must leave at least one survivor");
-      for (const rank_t s : e.ranks) {
-        if (s < 0 || s >= spec.nodes)
-          invalid("failure rank " + std::to_string(s) +
-                  " out of range [0, " + std::to_string(spec.nodes) + ")");
-      }
+    // One source of truth for schedule well-formedness (fully-specified
+    // events, distinct iterations, in-range ranks, no duplicate ranks):
+    // the same netsim validation the resilience engines run. Note that an
+    // all-ranks event is *valid* — it resolves to the scratch rung of the
+    // recovery ladder instead of being rejected up front.
+    try {
+      merge_failure_schedule({}, spec.failures, spec.nodes);
+    } catch (const Error& e) {
+      invalid(e.what());
     }
+    RecoveryPolicy policy;
+    try {
+      policy = recovery_policy_from_string(spec.recovery_policy);
+    } catch (const Error& e) {
+      invalid(e.what());
+    }
+    if ((policy.shrink_on_unrecoverable || policy.rejoin) &&
+        !solver.supports_shrink)
+      invalid("\"" + spec.solver +
+              "\" does not implement the shrink/rejoin recovery rungs "
+              "(recovery_policy \"" + spec.recovery_policy +
+              "\"); use \"resilient-pcg\" or a non-shrink policy");
+    if (policy.shrink_on_unrecoverable && spec.strategy != Strategy::esrp)
+      invalid("recovery_policy \"" + spec.recovery_policy +
+              "\" (shrink rung) is only defined for the esrp strategy, "
+              "like no-spare recovery (ref. [22]); strategy \"" +
+              to_string(spec.strategy) + "\" cannot shrink");
     if (spec.failures.size() > solver.max_failure_events)
       invalid("\"" + spec.solver + "\" supports at most " +
               std::to_string(solver.max_failure_events) + " failure event" +
@@ -270,9 +275,18 @@ void validate_spec(const SolveSpec& spec) {
       if (!e.enabled())
         invalid("SDC event " + std::to_string(i) +
                 " is not fully specified (needs iteration >= 0)");
-      if (e.target != "p" && e.target != "x" && e.target != "r")
-        invalid("SDC event target must be p, x, or r, got \"" + e.target +
-                "\"");
+      if (e.target != "p" && e.target != "x" && e.target != "r" &&
+          e.target != "checkpoint" && e.target != "pcopy")
+        invalid("SDC event target must be p, x, r, checkpoint, or pcopy, "
+                "got \"" + e.target + "\"");
+      if (e.target == "checkpoint" && spec.strategy != Strategy::imcr)
+        invalid("SDC target \"checkpoint\" corrupts the IMCR buddy "
+                "checkpoint — it needs strategy imcr, got \"" +
+                to_string(spec.strategy) + "\"");
+      if (e.target == "pcopy" && spec.strategy != Strategy::esrp)
+        invalid("SDC target \"pcopy\" corrupts a redundancy-queue copy — "
+                "it needs strategy esrp, got \"" +
+                to_string(spec.strategy) + "\"");
       if (e.bit < 0 || e.bit >= 64)
         invalid("SDC event bit " + std::to_string(e.bit) +
                 " outside [0, 64)");

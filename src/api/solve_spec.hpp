@@ -106,6 +106,13 @@ struct SolverConfig {
   PrecondFormulation formulation = PrecondFormulation::inverse;
   bool spare_nodes = true;        ///< false: survivors absorb failed ranks
   index_t residual_replacement = 0; ///< recompute r = b - A x every k iters
+  /// Recovery-ladder policy preset (resilience/options.hpp,
+  /// recovery_policy_from_string): "ladder" (default; every exact rung,
+  /// bitwise-compatible with the historical path), "exact" (reconstruct or
+  /// scratch), "checkpoint" (IMCR restore or scratch), "scratch", or
+  /// "shrink" (ladder plus repartition-shrink and rank rejoin — needs a
+  /// solver with `supports_shrink`).
+  std::string recovery_policy = "ladder";
 };
 
 /// The per-solve inputs: right-hand side(s), initial guess, fault schedule,

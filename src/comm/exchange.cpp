@@ -1,8 +1,10 @@
 #include "comm/exchange.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "netsim/failure.hpp"
 #include "parallel/parallel.hpp"
 
@@ -15,6 +17,16 @@ void RedundantCopy::record(rank_t holder, index_t i, real_t v) {
   finalized_ = false;
 }
 
+std::uint64_t RedundantCopy::holder_sum(rank_t holder) const {
+  const auto& entries = held_[static_cast<std::size_t>(holder)];
+  std::uint64_t h = kFnvOffset;
+  for (const auto& [i, v] : entries) {
+    h = fnv1a(&i, sizeof(i), h);
+    h = fnv1a(&v, sizeof(v), h);
+  }
+  return h;
+}
+
 void RedundantCopy::finalize() {
   for (auto& entries : held_) {
     std::sort(entries.begin(), entries.end());
@@ -25,7 +37,36 @@ void RedundantCopy::finalize() {
                                     return a.first == b.first;
                                   }) == entries.end());
   }
+  sums_.resize(held_.size());
+  for (rank_t h = 0; h < static_cast<rank_t>(held_.size()); ++h)
+    sums_[static_cast<std::size_t>(h)] = holder_sum(h);
   finalized_ = true;
+}
+
+bool RedundantCopy::verify(std::span<const rank_t> failed) const {
+  ESRP_CHECK(finalized_);
+  for (rank_t h = 0; h < static_cast<rank_t>(held_.size()); ++h) {
+    if (rank_in(failed, h)) continue;
+    if (holder_sum(h) != sums_[static_cast<std::size_t>(h)]) return false;
+  }
+  return true;
+}
+
+rank_t RedundantCopy::corrupt(index_t i, int bit) {
+  ESRP_CHECK(bit >= 0 && bit < 64);
+  for (rank_t h = 0; h < static_cast<rank_t>(held_.size()); ++h) {
+    auto& entries = held_[static_cast<std::size_t>(h)];
+    for (auto& [idx, v] : entries) {
+      if (idx != i) continue;
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(real_t));
+      std::memcpy(&bits, &v, sizeof(bits));
+      bits ^= (std::uint64_t{1} << bit);
+      std::memcpy(&v, &bits, sizeof(bits));
+      return h;
+    }
+  }
+  return -1;
 }
 
 std::vector<std::pair<index_t, real_t>> RedundantCopy::held_in(
@@ -67,6 +108,11 @@ void RedundantCopy::drop_holders(std::span<const rank_t> ranks) {
   for (rank_t s : ranks) {
     ESRP_CHECK(s >= 0 && s < static_cast<rank_t>(held_.size()));
     held_[static_cast<std::size_t>(s)].clear();
+    // Re-seal the emptied list: dropping a holder is a legitimate mutation
+    // (the node died, its copies with it), so a later verify() against a
+    // different failed set must not misread it as corruption.
+    if (finalized_ && s < static_cast<rank_t>(sums_.size()))
+      sums_[static_cast<std::size_t>(s)] = kFnvOffset;
   }
 }
 

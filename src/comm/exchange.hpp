@@ -7,7 +7,9 @@
 // augmentation traffic so that every entry has at least phi off-owner copies.
 #pragma once
 
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -33,8 +35,21 @@ public:
   /// `finalize()` must be called before lookups.
   void record(rank_t holder, index_t i, real_t v);
 
-  /// Sort per-holder entry lists (idempotent).
+  /// Sort per-holder entry lists and seal each with an FNV-1a content
+  /// checksum (idempotent).
   void finalize();
+
+  /// Recompute every surviving holder's checksum and compare against the
+  /// seal taken at finalize(). True iff all match — a mismatch means the
+  /// stored bytes changed since the exchange (silent corruption of the
+  /// redundant state), so this copy must not feed a reconstruction.
+  bool verify(std::span<const rank_t> failed) const;
+
+  /// Fault injection: flip `bit` of the stored value of global entry `i` on
+  /// its lowest-ranked holder WITHOUT refreshing the checksum seal — the
+  /// corruption verify() must later detect. Returns the holder rank, or -1
+  /// if no holder stores entry `i`.
+  rank_t corrupt(index_t i, int bit);
 
   /// Entries held by `holder` whose global index lies in the sorted set
   /// `wanted`; used by the recovery gather.
@@ -55,9 +70,16 @@ public:
   void drop_holders(std::span<const rank_t> ranks);
 
 private:
+  std::uint64_t holder_sum(rank_t holder) const;
+
   index_t tag_ = -1;
   bool finalized_ = false;
   std::vector<std::vector<std::pair<index_t, real_t>>> held_;
+  /// Per-holder FNV-1a seals over (index, value) bytes, taken at
+  /// finalize(). Per holder (not whole-copy) because drop_holders()
+  /// legitimately erases individual holders' lists after a failure — the
+  /// surviving holders' seals must stay comparable.
+  std::vector<std::uint64_t> sums_;
 };
 
 /// Drives halo exchanges and local products for one matrix on one cluster.

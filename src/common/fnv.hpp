@@ -1,0 +1,28 @@
+// FNV-1a content hashing, shared by every place that fingerprints bytes:
+// plan-cache keys (service/problem_handle), scenario cell seeds, and the
+// integrity checksums guarding redundant recovery state (resilience).
+// 64-bit FNV-1a is not cryptographic — it detects accidental corruption
+// (bit flips, torn writes), which is exactly the SDC threat model here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace esrp {
+
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// Fold `bytes` bytes at `data` into the running hash `h`. Chain calls by
+/// passing the previous return value as `h`.
+inline std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                           std::uint64_t h = kFnvOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+} // namespace esrp

@@ -67,6 +67,7 @@ ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
       precond_(&precond),
       cluster_(&cluster),
       opts_(opts),
+      orig_part_(&cluster.partition()),
       resilience_(opts, cluster.partition(), classic_engine_config()) {
   ESRP_CHECK(a.rows() == a.cols());
   ESRP_CHECK(a.rows() == cluster.partition().global_size());
@@ -104,8 +105,10 @@ ResilientPcg::ResilientPcg(const CsrMatrix& a, const Preconditioner& precond,
   ESRP_CHECK(opts_.sdc_threshold > 0);
   for (const SdcEvent& e : opts_.sdc_events) {
     if (!e.enabled()) continue;
-    ESRP_CHECK_MSG(e.target == "p" || e.target == "x" || e.target == "r",
-                   "SDC target must be p, x, or r, got '" << e.target << "'");
+    ESRP_CHECK_MSG(e.target == "p" || e.target == "x" || e.target == "r" ||
+                       e.target == "checkpoint" || e.target == "pcopy",
+                   "SDC target must be p, x, r, checkpoint, or pcopy, got '"
+                       << e.target << "'");
     ESRP_CHECK_MSG(e.index >= 0 && e.index < a.rows(),
                    "SDC entry " << e.index << " outside [0, " << a.rows()
                                 << ")");
@@ -134,22 +137,10 @@ SolverState ResilientPcg::solver_state() {
                      {&beta_}};
 }
 
-void ResilientPcg::repartition(std::span<const rank_t> failed) {
-  // Gather the current state, absorb the failed ranks' ranges into their
-  // surviving neighbors, and rebuild everything partition-dependent. The
-  // accounting approximation: adopters already received the reconstructed
-  // entries during the recovery gather, so no extra migration messages are
-  // charged (DESIGN.md). The engine's star snapshots migrate around this
-  // hook (ResilienceEngine::recover).
-  const Vector xg = x_->gather_global();
-  const Vector rg = r_->gather_global();
-  const Vector zg = z_->gather_global();
-  const Vector pg = p_->gather_global();
-
-  owned_part_ = std::make_unique<BlockRowPartition>(
-      absorb_ranks(cluster_->partition(), failed));
-  cluster_->set_partition(*owned_part_);
-  const BlockRowPartition& np = *owned_part_;
+void ResilientPcg::rebuild_on_partition(const BlockRowPartition& np,
+                                        const Vector& xg, const Vector& rg,
+                                        const Vector& zg, const Vector& pg) {
+  cluster_->set_partition(np);
 
   // Any borrowed (shared) plans refer to the old partition; from here on
   // the solver owns its plans.
@@ -165,6 +156,39 @@ void ResilientPcg::repartition(std::span<const rank_t> failed) {
   z_ = std::make_unique<DistVector>(np, zg);
   p_ = std::make_unique<DistVector>(np, pg);
   ap_ = std::make_unique<DistVector>(np);
+}
+
+void ResilientPcg::repartition(std::span<const rank_t> failed) {
+  // Gather the current state, absorb the failed ranks' ranges into their
+  // surviving neighbors, and rebuild everything partition-dependent. The
+  // accounting approximation: adopters already received the reconstructed
+  // entries during the recovery gather, so no extra migration messages are
+  // charged (DESIGN.md). The engine's star snapshots migrate around this
+  // hook (ResilienceEngine::recover).
+  const Vector xg = x_->gather_global();
+  const Vector rg = r_->gather_global();
+  const Vector zg = z_->gather_global();
+  const Vector pg = p_->gather_global();
+
+  auto shrunk = std::make_unique<BlockRowPartition>(
+      absorb_ranks(cluster_->partition(), failed));
+  rebuild_on_partition(*shrunk, xg, rg, zg, pg);
+  // The previous owned partition (if any) stays referenced until the
+  // rebuild above re-seated everything onto the new one.
+  owned_part_ = std::move(shrunk);
+}
+
+void ResilientPcg::rejoin_full_cluster() {
+  // The retired ranks came back: redistribute the live state onto the
+  // construction-time partition and continue the trajectory exactly. The
+  // engine drops its strategy state around this hook (try_rejoin) — the
+  // following storage stages replenish it on the re-expanded map.
+  const Vector xg = x_->gather_global();
+  const Vector rg = r_->gather_global();
+  const Vector zg = z_->gather_global();
+  const Vector pg = p_->gather_global();
+  rebuild_on_partition(*orig_part_, xg, rg, zg, pg);
+  owned_part_.reset();
 }
 
 real_t ResilientPcg::dot(const DistVector& a, const DistVector& b) {
@@ -344,6 +368,18 @@ void ResilientPcg::inject_sdc(index_t j, ResilientSolveResult& result) {
     const SdcEvent& e = opts_.sdc_events[k];
     if (sdc_fired_[k] || !e.enabled() || e.iteration != j) continue;
     sdc_fired_[k] = 1;
+    if (e.target == "checkpoint" || e.target == "pcopy") {
+      // Redundant-state corruption: the flip lands in the stored buddy
+      // checkpoint / the newest redundancy-queue copy and lies dormant
+      // until a recovery consults (and checksum-rejects) it. rank = -1
+      // means there was nothing to corrupt yet — still reported honestly.
+      SdcRecord rec;
+      rec.event = e;
+      rec.rank = resilience_.corrupt_redundant_state(e);
+      result.sdc.push_back(rec);
+      if (sdc_callback_) sdc_callback_(rec);
+      continue;
+    }
     const BlockRowPartition& cp = cluster_->partition();
     DistVector* v = e.target == "x" ? x_.get()
                     : e.target == "r" ? r_.get()
@@ -395,6 +431,7 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
   client.repartition = [this](std::span<const rank_t> failed) {
     repartition(failed);
   };
+  client.rejoin = [this] { rejoin_full_cluster(); };
   client.reconstruct = [this, b](StateSnapshot& stars,
                                  const RedundantCopy& prev,
                                  const RedundantCopy& cur,
@@ -431,6 +468,15 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
 
     if (hook_) hook_(j, *x_, *r_, *z_, *p_);
 
+    // --- Rejoin rung: at a storage-cadence iteration, retired ranks come
+    // back and the solve re-expands onto the full cluster (policy-gated;
+    // no-op under the default policy). ---
+    {
+      RecoveryRecord rejoin_rec;
+      if (resilience_.try_rejoin(j, client, rejoin_rec))
+        result.recoveries.push_back(rejoin_rec);
+    }
+
     // --- Storage / checkpoint phase (Alg. 3 lines 4-12) ---
     const ResilienceEngine::StoragePlan stores = resilience_.storage_plan(j);
     if (resilience_.checkpoint_due(j))
@@ -454,6 +500,20 @@ ResilientSolveResult ResilientPcg::solve(std::span<const real_t> b,
     if (const FailureEvent* event = resilience_.pending_event(j)) {
       RecoveryRecord record;
       j = resilience_.recover(*event, j, client, record);
+      // A redundant-state corruption (SDC target checkpoint/pcopy) is
+      // detected exactly when a recovery checksum-rejects the state it
+      // corrupted — mirror that verdict into the pending SDC records.
+      if (record.copies_corrupt > 0 || record.checkpoints_corrupt > 0) {
+        for (SdcRecord& rec : result.sdc) {
+          if (rec.detected) continue;
+          if ((rec.event.target == "pcopy" && record.copies_corrupt > 0) ||
+              (rec.event.target == "checkpoint" &&
+               record.checkpoints_corrupt > 0)) {
+            rec.detected = true;
+            rec.detected_at = record.failed_at;
+          }
+        }
+      }
       result.recoveries.push_back(record);
       const auto [rz_rec, rr_rec] = dot2(*r_, *z_, *r_, *r_);
       rz = rz_rec;

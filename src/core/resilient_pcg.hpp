@@ -148,9 +148,20 @@ private:
   SolverState solver_state();
 
   /// Rebuild plans, engine, preconditioner blocks and state vectors on the
-  /// repartitioned cluster (no-spare recovery; the resilience engine
-  /// migrates its own snapshots around this hook).
+  /// repartitioned cluster (no-spare / shrink recovery; the resilience
+  /// engine migrates its own snapshots around this hook).
   void repartition(std::span<const rank_t> failed);
+
+  /// Rejoin hook: re-expand onto the construction-time partition — retired
+  /// ranks come back and the live state is redistributed exactly.
+  void rejoin_full_cluster();
+
+  /// Shared tail of repartition()/rejoin_full_cluster(): point the cluster
+  /// at `np`, rebuild every partition-dependent structure, and re-seat the
+  /// gathered live state.
+  void rebuild_on_partition(const BlockRowPartition& np, const Vector& xg,
+                            const Vector& rg, const Vector& zg,
+                            const Vector& pg);
 
   /// ESRP reconstruction hook (Alg. 2): rebuild the failed entries at the
   /// star snapshot from the two consecutive redundant copies and roll the
@@ -166,6 +177,9 @@ private:
   const Preconditioner* precond_;
   SimCluster* cluster_;
   ResilienceOptions opts_;
+  /// Construction-time partition (caller-owned, outlives the solver): the
+  /// rejoin rung re-expands back onto it.
+  const BlockRowPartition* orig_part_ = nullptr;
   std::unique_ptr<BlockRowPartition> owned_part_; ///< set after repartition
   // Plans: borrowed from a prepared handle, or owned. `plan_`/`aug_` are
   // the single source of truth; the unique_ptrs are only set when this

@@ -40,4 +40,59 @@ std::vector<rank_t> surviving_ranks(std::span<const rank_t> failed,
   return out;
 }
 
+void validate_failure_schedule(std::span<const FailureEvent> schedule,
+                               rank_t num_nodes) {
+  ESRP_CHECK(num_nodes > 0);
+  index_t prev = -1;
+  for (std::size_t e = 0; e < schedule.size(); ++e) {
+    const FailureEvent& ev = schedule[e];
+    ESRP_CHECK_MSG(ev.enabled(),
+                   "failure event " << e << " is not fully specified "
+                   "(needs iteration >= 0 and at least one rank; got "
+                   "iteration " << ev.iteration << ", " << ev.ranks.size()
+                   << " ranks)");
+    ESRP_CHECK_MSG(ev.iteration > prev,
+                   "failure schedule must be strictly increasing by "
+                   "iteration: event " << e << " at iteration "
+                   << ev.iteration << " follows iteration " << prev);
+    prev = ev.iteration;
+    for (std::size_t k = 0; k < ev.ranks.size(); ++k) {
+      const rank_t r = ev.ranks[k];
+      ESRP_CHECK_MSG(r >= 0 && r < num_nodes,
+                     "failure event " << e << " (iteration " << ev.iteration
+                     << "): rank " << r << " outside [0, " << num_nodes
+                     << ")");
+      for (std::size_t j = k + 1; j < ev.ranks.size(); ++j)
+        ESRP_CHECK_MSG(ev.ranks[j] != r,
+                       "failure event " << e << " (iteration "
+                       << ev.iteration << "): rank " << r
+                       << " listed more than once");
+    }
+  }
+}
+
+std::vector<FailureEvent> merge_failure_schedule(
+    const FailureEvent& primary, std::span<const FailureEvent> extra,
+    rank_t num_nodes) {
+  // A default-constructed event (iteration -1, no ranks) means "no event";
+  // a half-specified one (iteration set XOR ranks set) is kept so the
+  // validation below rejects it with a message instead of silently
+  // dropping what the caller probably intended to fire.
+  const auto disabled = [](const FailureEvent& e) {
+    return e.iteration < 0 && e.ranks.empty();
+  };
+  std::vector<FailureEvent> merged;
+  merged.reserve(extra.size() + 1);
+  if (!disabled(primary)) merged.push_back(primary);
+  for (const FailureEvent& e : extra)
+    if (!disabled(e)) merged.push_back(e);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.iteration < b.iteration;
+                   });
+  validate_failure_schedule(merged, num_nodes);
+  return merged;
+}
+
 } // namespace esrp
+

@@ -33,12 +33,18 @@ struct FailureEvent {
 };
 
 /// A silent-data-corruption event: at the start of iteration `iteration`,
-/// bit `bit` of global entry `index` of the named solver vector is flipped.
-/// No rank loses data — the corruption travels with the arithmetic until
-/// residual replacement (or convergence checking) notices it.
+/// bit `bit` of global entry `index` of the named target is flipped.
+/// No rank loses data — the corruption travels with the arithmetic (live
+/// vectors) or lies dormant in redundant state (checkpoint / p-copy) until
+/// residual replacement or a recovery-time checksum verification notices.
 struct SdcEvent {
   index_t iteration = -1; ///< -1 disables the event
-  std::string target = "p"; ///< corrupted vector: "p", "x", or "r"
+  /// Corruption target: a live solver vector ("p", "x", "r") or redundant
+  /// recovery state — "checkpoint" flips a bit of the stored IMCR buddy
+  /// checkpoint, "pcopy" flips a bit of the newest redundancy-queue copy.
+  /// Redundant-state corruption is detected (if ever consumed) by the
+  /// recovery ladder's checksum verification, not by residual replacement.
+  std::string target = "p";
   index_t index = 0;        ///< global entry index
   int bit = 51;             ///< bit to flip (0 = LSB of the mantissa)
 
@@ -56,5 +62,27 @@ bool rank_in(std::span<const rank_t> ranks, rank_t rank);
 /// Sorted copy of the surviving ranks (complement of `failed`).
 std::vector<rank_t> surviving_ranks(std::span<const rank_t> failed,
                                     rank_t num_nodes);
+
+/// Validate one failure schedule in one place (every consumer — the
+/// resilience engine, validate_spec, the scenario samplers — routes
+/// through here instead of re-checking its own subset). Throws esrp::Error
+/// naming the offending event when:
+///  - an event is half-specified (iteration >= 0 XOR non-empty ranks),
+///  - iterations are not strictly increasing (duplicates included),
+///  - a rank repeats within one event,
+///  - a rank lies outside [0, num_nodes).
+/// An event may fail *all* ranks — the recovery ladder resolves that to a
+/// deterministic scratch restart, it is not a schedule error. Disabled
+/// events (iteration < 0 with empty ranks) are rejected too: merge first,
+/// then validate.
+void validate_failure_schedule(std::span<const FailureEvent> schedule,
+                               rank_t num_nodes);
+
+/// Merge the convenience single event, the extra events, and any sampled
+/// schedule into one list sorted by iteration, skipping disabled events,
+/// then validate_failure_schedule the result.
+std::vector<FailureEvent> merge_failure_schedule(
+    const FailureEvent& primary, std::span<const FailureEvent> extra,
+    rank_t num_nodes);
 
 } // namespace esrp

@@ -216,6 +216,12 @@ DistPipelinedResult DistPipelinedPcg::solve(std::span<const real_t> b) {
   initialize();
   resilience_.begin_solve(*cluster_);
 
+  // Recovery-ladder hooks: this solver supplies reconstruct and restart
+  // only. It leaves `repartition` and `rejoin` unset, so the engine skips
+  // the shrink and rejoin rungs (validate_spec rejects shrink policies for
+  // "dist-pipelined" via SolverEntry::supports_shrink); all other rungs —
+  // reconstruct, older-snapshot (real here: pipelined storage keeps two
+  // snapshot slots), IMCR checkpoint, scratch — apply unchanged.
   ResilienceEngine::Client client;
   client.state = state;
   client.restart = initialize;

@@ -1,7 +1,10 @@
 #include "resilience/checkpoint_store.hpp"
 
+#include <cstring>
+
 #include "comm/aspmv_plan.hpp"
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 
 namespace esrp {
 
@@ -25,6 +28,7 @@ void CheckpointStore::store(index_t iteration, const SolverState& state,
     vecs_[k].copy_from(*state.vectors[k]);
   for (std::size_t k = 0; k < num_scalars_; ++k)
     scalars_[k] = *state.scalars[k];
+  sum_ = content_sum();
 
   const rank_t n_nodes = part_->num_nodes();
   for (rank_t s = 0; s < n_nodes; ++s) {
@@ -38,6 +42,39 @@ void CheckpointStore::store(index_t iteration, const SolverState& state,
     }
   }
   cluster.complete_step();
+}
+
+std::uint64_t CheckpointStore::content_sum() const {
+  std::uint64_t h = fnv1a(&tag_, sizeof(tag_));
+  for (const DistVector& vec : vecs_) {
+    for (rank_t s = 0; s < part_->num_nodes(); ++s) {
+      const auto slice = vec.local(s);
+      h = fnv1a(slice.data(), slice.size_bytes(), h);
+    }
+  }
+  h = fnv1a(scalars_.data(), scalars_.size() * sizeof(real_t), h);
+  return h;
+}
+
+bool CheckpointStore::verify() const {
+  ESRP_CHECK(has_checkpoint());
+  return content_sum() == sum_;
+}
+
+rank_t CheckpointStore::corrupt(std::size_t vec, index_t i, int bit) {
+  ESRP_CHECK(has_checkpoint());
+  ESRP_CHECK(vec < vecs_.size());
+  ESRP_CHECK(i >= 0 && i < part_->global_size());
+  ESRP_CHECK(bit >= 0 && bit < 64);
+  const real_t v = vecs_[vec].at(i);
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(real_t));
+  std::memcpy(&bits, &v, sizeof(bits));
+  bits ^= (std::uint64_t{1} << bit);
+  real_t flipped;
+  std::memcpy(&flipped, &bits, sizeof(bits));
+  vecs_[vec].set(i, flipped);
+  return part_->owner(i);
 }
 
 std::optional<rank_t> CheckpointStore::surviving_buddy(

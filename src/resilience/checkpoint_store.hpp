@@ -15,6 +15,7 @@
 // surviving buddy for each failed rank.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -38,10 +39,23 @@ public:
   bool has_checkpoint() const { return tag_ >= 0; }
   index_t tag() const { return tag_; }
 
-  /// Capture `state` as checkpoint `iteration` and charge the buddy
-  /// messages on `cluster` (category checkpoint): per node, phi messages of
+  /// Capture `state` as checkpoint `iteration`, seal it with an FNV-1a
+  /// content checksum, and charge the buddy messages on `cluster`
+  /// (category checkpoint): per node, phi messages of
   /// (num_vectors * local + num_scalars) scalars.
   void store(index_t iteration, const SolverState& state, SimCluster& cluster);
+
+  /// Recompute the content checksum and compare against the seal taken at
+  /// store(). True iff they match — a mismatch means the checkpoint bytes
+  /// changed while at rest (silent corruption), so restore() must not
+  /// consume it.
+  bool verify() const;
+
+  /// Fault injection: flip `bit` of entry `i` (global index into vector
+  /// `vec`) of the stored checkpoint WITHOUT refreshing the seal — the
+  /// corruption verify() must later detect. Returns the rank owning the
+  /// corrupted slice. Requires a stored checkpoint.
+  rank_t corrupt(std::size_t vec, index_t i, int bit);
 
   /// Buddy of `rank` that survives `failed`, preferring the k=1 buddy
   /// (deterministic); nullopt if all phi buddies failed (unrecoverable).
@@ -57,12 +71,15 @@ public:
                SimCluster& cluster) const;
 
 private:
+  std::uint64_t content_sum() const;
+
   const BlockRowPartition* part_;
   int phi_;
   std::size_t num_scalars_;
   index_t tag_ = -1;
   std::vector<DistVector> vecs_;
   std::vector<real_t> scalars_;
+  std::uint64_t sum_ = 0; ///< FNV-1a seal taken at store()
 };
 
 } // namespace esrp

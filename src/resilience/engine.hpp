@@ -7,9 +7,11 @@
 //     copies, the periodic storage-stage cadence (paper Alg. 3 lines 4-12)
 //     and the star-state snapshots the survivors roll back to;
 //   - the IMCR buddy checkpoint store;
-//   - recovery orchestration: data loss, reconstruction / restore /
-//     scratch-restart selection, the no-spare repartitioning path, and the
-//     RecoveryRecord + failure/recovery callback plumbing.
+//   - recovery orchestration: data loss, the policy-driven recovery ladder
+//     (reconstruct → older snapshot → checkpoint → shrink → scratch, plus
+//     the rejoin rung at storage stages) over checksum-verified redundant
+//     state, the no-spare repartitioning path, bounded retry for cascading
+//     events, and the RecoveryRecord + failure/recovery callback plumbing.
 //
 // A solver participates through the SolverState concept
 // (resilience/solver_state.hpp) plus a small Client of hooks for the steps
@@ -73,10 +75,15 @@ public:
     std::function<SolverState()> state;
     /// Reinitialize the live state to iteration 0 (scratch restart).
     std::function<void()> restart;
-    /// No-spare recovery: absorb the failed ranks' index ranges into their
-    /// surviving neighbors and rebuild every partition-dependent structure
-    /// (plans, live vectors). May be null when the solver rejects no-spare.
+    /// No-spare / shrink recovery: absorb the failed ranks' index ranges
+    /// into their surviving neighbors and rebuild every partition-dependent
+    /// structure (plans, live vectors). May be null when the solver rejects
+    /// no-spare; the shrink rung is skipped then.
     std::function<void(std::span<const rank_t>)> repartition;
+    /// Rejoin rung: re-expand the ownership map back onto the original
+    /// full cluster (the retired ranks came back), redistributing the live
+    /// state. May be null when the solver cannot re-expand.
+    std::function<void()> rejoin;
     /// ESRP: reconstruct the failed entries at snapshot `stars` from the
     /// two consecutive redundant copies, roll the live state back to the
     /// (repaired) snapshot, and fill the record's inner-iteration counts.
@@ -93,10 +100,12 @@ public:
     bool store() const { return first_store || second_store; }
   };
 
-  /// Validates the failure schedule against `part` (ranks in range, at
-  /// least one survivor per event, pairwise distinct iterations) and the
-  /// interval/queue parameters; creates the IMCR store when the strategy
-  /// asks for one. Throws esrp::Error on invalid options.
+  /// Merges failure + extra_failures through validate_failure_schedule
+  /// (ranks in range and distinct per event, strictly increasing
+  /// iterations; an event may fail *all* ranks — the ladder resolves it to
+  /// a scratch restart) and validates the interval/queue parameters;
+  /// creates the IMCR store when the strategy asks for one. Throws
+  /// esrp::Error on invalid options.
   ResilienceEngine(ResilienceOptions opts, const BlockRowPartition& part,
                    Config cfg);
 
@@ -136,7 +145,12 @@ public:
 
   /// Declare iteration `tag` reconstructable: its snapshot and copy pair
   /// are in place. recover() rolls back to the newest declared tag.
-  void set_recoverable(index_t tag) { last_recoverable_ = tag; }
+  /// Advancing the tag is the engine's "progress" signal: it resets the
+  /// bounded-retry counter of cascading recoveries.
+  void set_recoverable(index_t tag) {
+    if (tag > last_recoverable_) retry_count_ = 0;
+    last_recoverable_ = tag;
+  }
   index_t last_recoverable() const { return last_recoverable_; }
 
   // --- IMCR checkpoints --------------------------------------------------
@@ -148,15 +162,42 @@ public:
   void store_checkpoint(index_t j, const SolverState& state);
 
   // --- recovery ----------------------------------------------------------
-  /// Run the full §4 protocol for one event at iteration j_fail: fire the
-  /// failure callback, lose the failed ranks' dynamic data (live state,
-  /// snapshots, redundant copies), then recover by exact reconstruction
-  /// (ESRP), checkpoint restore (IMCR), or scratch restart — with the
-  /// no-spare repartitioning when configured — and fire the recovery
-  /// callback. Returns the iteration to resume from; `record` is filled
-  /// with the outcome (also appended via the recovery callback).
+  /// Run the full §4 protocol for one event at iteration j_fail as a
+  /// policy-driven ladder: fire the failure callback, lose the failed
+  /// ranks' dynamic data (live state, snapshots, redundant copies), then
+  /// walk the rungs the RecoveryPolicy enables —
+  ///   reconstruct → older snapshot → checkpoint → shrink → scratch —
+  /// each gated on checksum-verified inputs (a corrupt copy or checkpoint
+  /// demotes to the next rung and is counted in the record), with the
+  /// no-spare repartitioning when configured. Re-entrant: a failure landing
+  /// inside an earlier recovery's replay window simply recovers again; the
+  /// bounded-retry counter (RecoveryPolicy::max_attempts recoveries with
+  /// no storage progress) forces the scratch rung instead of thrashing.
+  /// Returns the iteration to resume from; `record` is filled with the
+  /// outcome (also appended via the recovery callback).
   index_t recover(const FailureEvent& event, index_t j_fail,
                   const Client& client, RecoveryRecord& record);
+
+  /// Rejoin rung: when the policy allows it, retired ranks exist, the
+  /// client can re-expand, and j is a storage-cadence iteration, rebuild
+  /// onto the original full cluster and emit a rung=rejoin record (also
+  /// via the recovery callback). The strategy state (queue, snapshots,
+  /// checkpoint) is dropped — the following storage stages replenish it on
+  /// the re-expanded partition. Call at the top of the storage phase.
+  bool try_rejoin(index_t j, const Client& client, RecoveryRecord& record);
+
+  /// Ranks currently retired by shrink / no-spare recoveries (empty ranges
+  /// on the live partition), ascending.
+  const std::vector<rank_t>& retired_ranks() const { return retired_; }
+
+  /// Fault injection for the redundant-state SdcEvent targets: "pcopy"
+  /// flips a bit of entry `e.index` in the newest redundancy-queue copy,
+  /// "checkpoint" flips a bit of entry `e.index` of vector 0 of the stored
+  /// buddy checkpoint — both without refreshing the checksum seal, so the
+  /// corruption is detectable (and demoted) at recovery time. Returns the
+  /// rank holding the corrupted bytes, or -1 when there is nothing to
+  /// corrupt yet (no copy / no checkpoint / entry not redundantly held).
+  rank_t corrupt_redundant_state(const SdcEvent& e);
 
   void set_failure_callback(std::function<void(const FailureEvent&)> cb) {
     on_failure_ = std::move(cb);
@@ -168,10 +209,21 @@ public:
 private:
   const StateSnapshot* find_snapshot(index_t tag) const;
   StateSnapshot* find_snapshot(index_t tag);
-  /// Gather the snapshots, run the client's repartition, and rebuild the
-  /// snapshots on the cluster's new partition.
+  /// Gather the snapshots, run the client's repartition, rebuild the
+  /// snapshots on the cluster's new partition, and retire the failed
+  /// ranks. The IMCR store (if any) is rebuilt empty on the new partition:
+  /// its stored slices describe the old ownership map.
   void repartition_with_snapshots(std::span<const rank_t> failed,
-                                  const Client& client);
+                                  const Client& client,
+                                  RecoveryRecord& record);
+  /// One reconstruct-shaped rung: require the adjacent copy pair and the
+  /// star snapshot for `target`, checksum-verify both copies (corrupt ones
+  /// demote), then run the client's reconstruction. On success sets
+  /// `resume`/record.rung and returns true.
+  bool try_reconstruct_at(index_t target, RecoveryRung rung,
+                          std::span<const rank_t> failed,
+                          const Client& client, RecoveryRecord& record,
+                          index_t& resume);
 
   ResilienceOptions opts_;
   Config cfg_;
@@ -182,6 +234,11 @@ private:
   std::unique_ptr<CheckpointStore> checkpoint_;
   std::vector<FailureEvent> events_; ///< merged failure + extra_failures
   std::vector<bool> event_done_;
+  std::vector<rank_t> retired_; ///< ranks idled by shrink/no-spare, ascending
+  /// Recoveries since the last storage progress (set_recoverable advance,
+  /// store_checkpoint, or scratch restart); > policy.max_attempts forces
+  /// the scratch rung.
+  int retry_count_ = 0;
   std::function<void(const FailureEvent&)> on_failure_;
   std::function<void(const RecoveryRecord&)> on_recovery_;
 };

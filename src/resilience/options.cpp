@@ -21,4 +21,46 @@ Strategy strategy_from_string(std::string_view name) {
               "\" (valid: none, esrp, imcr)");
 }
 
+std::string to_string(RecoveryRung r) {
+  switch (r) {
+    case RecoveryRung::none: return "none";
+    case RecoveryRung::reconstruct: return "reconstruct";
+    case RecoveryRung::older_snapshot: return "older-snapshot";
+    case RecoveryRung::checkpoint: return "checkpoint";
+    case RecoveryRung::shrink: return "shrink";
+    case RecoveryRung::rejoin: return "rejoin";
+    case RecoveryRung::scratch: return "scratch";
+  }
+  return "?";
+}
+
+RecoveryPolicy recovery_policy_from_string(std::string_view name) {
+  RecoveryPolicy p;
+  p.name = std::string(name);
+  if (name == "ladder") return p;
+  if (name == "exact") {
+    p.try_older_snapshot = false;
+    p.try_checkpoint = false;
+    return p;
+  }
+  if (name == "checkpoint") {
+    p.try_reconstruct = false;
+    p.try_older_snapshot = false;
+    return p;
+  }
+  if (name == "scratch") {
+    p.try_reconstruct = false;
+    p.try_older_snapshot = false;
+    p.try_checkpoint = false;
+    return p;
+  }
+  if (name == "shrink") {
+    p.shrink_on_unrecoverable = true;
+    p.rejoin = true;
+    return p;
+  }
+  throw Error("unknown recovery policy \"" + std::string(name) +
+              "\" (valid: ladder, exact, checkpoint, scratch, shrink)");
+}
+
 } // namespace esrp

@@ -38,6 +38,66 @@ std::string to_string(Strategy s);
 /// esrp::Error on anything else, naming the valid spellings.
 Strategy strategy_from_string(std::string_view name);
 
+/// One rung of the recovery ladder. Ordered from most to least exact:
+///   reconstruct    — ESRP exact reconstruction at the last recoverable
+///                    storage stage (bitwise-exact resume).
+///   older_snapshot — ESRP reconstruction at an older stored snapshot whose
+///                    adjacent copy pair is still intact (bitwise-exact at
+///                    that earlier iteration).
+///   checkpoint     — IMCR buddy-checkpoint restore (bitwise-exact at the
+///                    checkpoint tag).
+///   shrink         — repartition onto the survivors and restart the
+///                    iteration there (degraded-mode continuation, ref.
+///                    [22] generalized; repeatable across events).
+///   rejoin         — previously retired ranks rejoin at a storage stage
+///                    and the solve re-expands onto the full cluster.
+///   scratch        — restart from zero on the full cluster.
+/// `none` is the record default before any recovery happened.
+enum class RecoveryRung {
+  none,
+  reconstruct,
+  older_snapshot,
+  checkpoint,
+  shrink,
+  rejoin,
+  scratch,
+};
+
+std::string to_string(RecoveryRung r);
+
+/// Which rungs recover() may try, in ladder order. Presets (by name, for
+/// the CLI/spec surface — see recovery_policy_from_string):
+///   "ladder"     — reconstruct → older snapshot → checkpoint → scratch
+///                  (the default; identical to historical behavior whenever
+///                  the first applicable rung succeeds).
+///   "exact"      — reconstruct-else-scratch, the paper's §5 protocol.
+///   "checkpoint" — checkpoint-else-scratch (pure IMCR).
+///   "scratch"    — always restart from zero (the unprotected baseline).
+///   "shrink"     — full ladder plus repartition-shrink on unrecoverable
+///                  events and rank rejoin at later storage stages.
+struct RecoveryPolicy {
+  std::string name = "ladder"; ///< preset spelling, echoed in reports
+  bool try_reconstruct = true;
+  bool try_older_snapshot = true;
+  bool try_checkpoint = true;
+  /// On an unrecoverable event, repartition onto the survivors and restart
+  /// there instead of restarting on the full cluster. Requires a client
+  /// with a repartition hook; repeatable across events.
+  bool shrink_on_unrecoverable = false;
+  /// Let retired ranks rejoin at a later storage stage (re-expanding the
+  /// partition back onto the full cluster). Only meaningful with shrink.
+  bool rejoin = false;
+  /// Cap on recovery attempts resuming to the same target iteration before
+  /// the engine forces a scratch restart. Bounds cascades where survivors
+  /// keep failing inside the recovery window.
+  int max_attempts = 3;
+};
+
+/// Resolve a policy preset by name ("ladder", "exact", "checkpoint",
+/// "scratch", "shrink"). Throws esrp::Error on anything else, naming the
+/// valid spellings.
+RecoveryPolicy recovery_policy_from_string(std::string_view name);
+
 struct ResilienceOptions {
   Strategy strategy = Strategy::none;
   index_t interval = 1;        ///< T, the checkpointing interval
@@ -82,6 +142,10 @@ struct ResilienceOptions {
   /// residual-replacement step flags a corruption. Benign drift near
   /// convergence sits orders of magnitude below this default.
   real_t sdc_threshold = 1e-3;
+  /// Which recovery rungs the engine may try, and how cascading events are
+  /// bounded. Defaults to the "ladder" preset, which reproduces the
+  /// historical reconstruct/checkpoint/scratch behavior bit for bit.
+  RecoveryPolicy policy;
 };
 
 struct RecoveryRecord {
@@ -92,6 +156,24 @@ struct RecoveryRecord {
   index_t inner_iterations_precond = 0;
   index_t inner_iterations_matrix = 0;
   bool restarted_from_scratch = false; ///< no recoverable state existed
+  /// The ladder rung that actually recovered this event.
+  RecoveryRung rung = RecoveryRung::none;
+  /// Every rung the engine attempted for this event, in order; the last
+  /// entry equals `rung`. Demoted rungs (corrupt or missing state) precede
+  /// the one that succeeded.
+  std::vector<RecoveryRung> attempted;
+  /// Integrity verdicts over the redundant state consulted during this
+  /// recovery: checksum-verified redundancy-queue copies, copies rejected
+  /// as corrupt, and buddy checkpoints rejected as corrupt.
+  index_t copies_verified = 0;
+  index_t copies_corrupt = 0;
+  index_t checkpoints_corrupt = 0;
+  /// Cluster-shape bookkeeping: ranks lost to this event, ranks whose
+  /// index ranges were absorbed by survivors (no-spare / shrink), and
+  /// ranks re-admitted by a rejoin record.
+  index_t ranks_lost = 0;
+  index_t ranks_absorbed = 0;
+  index_t ranks_rejoined = 0;
 };
 
 /// Outcome of one injected SdcEvent. Appended to the result at injection

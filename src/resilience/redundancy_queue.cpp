@@ -44,6 +44,11 @@ void RedundancyQueue::drop_holders(std::span<const rank_t> ranks) {
   for (RedundantCopy& e : entries_) e.drop_holders(ranks);
 }
 
+rank_t RedundancyQueue::corrupt_newest(index_t entry, int bit) {
+  if (entries_.empty()) return -1;
+  return entries_.back().corrupt(entry, bit);
+}
+
 std::vector<index_t> RedundancyQueue::tags() const {
   std::vector<index_t> out;
   out.reserve(entries_.size());

@@ -41,6 +41,12 @@ public:
   /// Drop the entries held by the given (failed) ranks in all stored copies.
   void drop_holders(std::span<const rank_t> ranks);
 
+  /// Fault injection: flip `bit` of the stored value of global entry
+  /// `entry` in the newest copy, without refreshing its checksum seal (see
+  /// RedundantCopy::corrupt). Returns the holder rank, or -1 if the queue
+  /// is empty or no holder stores that entry.
+  rank_t corrupt_newest(index_t entry, int bit);
+
   /// Tags currently in the queue, oldest first (diagnostics; matches the
   /// queue drawings of Fig. 1).
   std::vector<index_t> tags() const;

@@ -6,25 +6,16 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "xp/experiment.hpp"
 
 namespace esrp {
 
 namespace {
 
-// FNV-1a-64 over raw bytes — same constants as the parity tests'
+// FNV-1a-64 (common/fnv.hpp) — same constants as the parity tests'
 // trajectory hashes, so a key printed in a failing test can be compared
 // against a handle key directly.
-std::uint64_t fnv1a(const void* data, std::size_t bytes,
-                    std::uint64_t h = 1469598103934665603ull) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < bytes; ++i) {
-    h ^= p[i];
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
 std::uint64_t matrix_content_hash(const CsrMatrix& a) {
   std::uint64_t h = fnv1a(a.row_ptr().data(), a.row_ptr().size_bytes());
   h = fnv1a(a.col_idx().data(), a.col_idx().size_bytes(), h);

@@ -89,11 +89,11 @@ TEST(SolveSpecValidation, RejectsPhiNotBelowNodes) {
 }
 
 TEST(SolveSpecValidation, RejectsMalformedFailureSchedules) {
-  // Duplicate iterations.
+  // Duplicate iterations (validated by the shared netsim schedule checker).
   SolveSpec spec = distributed_spec();
   spec.failures.push_back(FailureEvent{10, {0}});
   spec.failures.push_back(FailureEvent{10, {1}});
-  expect_invalid(spec, "distinct iterations");
+  expect_invalid(spec, "strictly increasing");
 
   // Under-specified event (no ranks).
   spec = distributed_spec();
@@ -108,12 +108,75 @@ TEST(SolveSpecValidation, RejectsMalformedFailureSchedules) {
   // Rank out of range.
   spec = distributed_spec();
   spec.failures.push_back(FailureEvent{10, {7}});
-  expect_invalid(spec, "out of range");
+  expect_invalid(spec, "outside");
 
-  // All ranks failing at once.
+  // Same rank listed twice in one event.
+  spec = distributed_spec();
+  spec.failures.push_back(FailureEvent{10, {1, 1}});
+  expect_invalid(spec, "more than once");
+
+  // All ranks failing at once is *valid* since the recovery ladder: it
+  // resolves to a deterministic scratch restart instead of being rejected.
   spec = distributed_spec();
   spec.failures.push_back(FailureEvent{10, {0, 1, 2, 3}});
-  expect_invalid(spec, "survivor");
+  EXPECT_NO_THROW(validate_spec(spec));
+}
+
+TEST(SolveSpecValidation, RecoveryPolicyNamesAndCapabilities) {
+  // Every preset parses on the capable solver (esrp: every rung is legal).
+  for (const char* name :
+       {"ladder", "exact", "checkpoint", "scratch", "shrink"}) {
+    SolveSpec spec = distributed_spec();
+    spec.strategy = Strategy::esrp;
+    spec.recovery_policy = name;
+    EXPECT_NO_THROW(validate_spec(spec)) << name;
+  }
+
+  // Unknown policy names are rejected with the valid spellings.
+  SolveSpec spec = distributed_spec();
+  spec.recovery_policy = "lader";
+  expect_invalid(spec, "recovery policy");
+
+  // dist-pipelined has no repartition/rejoin hooks -> no shrink policy.
+  spec = distributed_spec();
+  spec.solver = "dist-pipelined";
+  spec.recovery_policy = "shrink";
+  expect_invalid(spec, "shrink");
+
+  // The shrink rung is esrp-only, like no-spare recovery.
+  spec = distributed_spec();
+  spec.strategy = Strategy::imcr;
+  spec.recovery_policy = "shrink";
+  expect_invalid(spec, "esrp");
+}
+
+TEST(SolveSpecValidation, SdcRedundantStateTargetsAreStrategyGated) {
+  SdcEvent flip;
+  flip.iteration = 5;
+
+  // "pcopy" corrupts a redundancy-queue copy: esrp only.
+  SolveSpec spec = distributed_spec();
+  spec.strategy = Strategy::esrp;
+  flip.target = "pcopy";
+  spec.sdc_events.push_back(flip);
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.strategy = Strategy::imcr;
+  expect_invalid(spec, "esrp");
+
+  // "checkpoint" corrupts the IMCR buddy checkpoint: imcr only.
+  spec = distributed_spec();
+  spec.strategy = Strategy::imcr;
+  flip.target = "checkpoint";
+  spec.sdc_events.push_back(flip);
+  EXPECT_NO_THROW(validate_spec(spec));
+  spec.strategy = Strategy::esrp;
+  expect_invalid(spec, "imcr");
+
+  // Unknown targets still list the full vocabulary.
+  spec = distributed_spec();
+  flip.target = "q";
+  spec.sdc_events.push_back(flip);
+  expect_invalid(spec, "checkpoint, or pcopy");
 }
 
 TEST(SolveSpecValidation, DistributedSolversNeedExplicitActionPrecond) {

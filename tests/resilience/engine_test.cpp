@@ -138,9 +138,12 @@ TEST_F(EngineFixture, InvalidEventSchedulesRejected) {
   duplicate.extra_failures.push_back(FailureEvent{3, {2}});
   EXPECT_THROW(ResilienceEngine(duplicate, part_, config()), Error);
 
-  ResilienceOptions no_survivor;
-  no_survivor.failure = FailureEvent{3, {0, 1, 2, 3, 4, 5}};
-  EXPECT_THROW(ResilienceEngine(no_survivor, part_, config()), Error);
+  // All-ranks-fail is a *valid* schedule since the recovery ladder: it
+  // resolves deterministically to the scratch rung instead of being
+  // rejected up front.
+  ResilienceOptions all_fail;
+  all_fail.failure = FailureEvent{3, {0, 1, 2, 3, 4, 5}};
+  EXPECT_NO_THROW(ResilienceEngine(all_fail, part_, config()));
 
   ResilienceOptions no_spare_imcr;
   no_spare_imcr.strategy = Strategy::imcr;
@@ -358,6 +361,243 @@ TEST_F(EngineFixture, CallbacksFireAroundRecovery) {
   engine.recover(*engine.pending_event(4), 4, solver_.client(), record);
   EXPECT_EQ(failures, 1);
   EXPECT_EQ(recoveries, 1);
+}
+
+TEST_F(EngineFixture, AllRanksFailingLandsOnScratchDeterministically) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.failure = FailureEvent{8, {0, 1, 2, 3, 4, 5}};
+  ResilienceEngine engine = make_engine(opts);
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+
+  RecoveryRecord record;
+  const index_t resume =
+      engine.recover(*engine.pending_event(8), 8, solver_.client(), record);
+  // Every holder of every copy died with the cluster: reconstruction finds
+  // no surviving data and the ladder bottoms out at scratch.
+  EXPECT_EQ(resume, 0);
+  EXPECT_TRUE(record.restarted_from_scratch);
+  EXPECT_EQ(record.rung, RecoveryRung::scratch);
+  EXPECT_EQ(record.ranks_lost, 6);
+  EXPECT_EQ(solver_.restarts, 1);
+}
+
+TEST_F(EngineFixture, ScratchPolicySkipsExactRungs) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy = recovery_policy_from_string("scratch");
+  opts.failure = FailureEvent{8, {2}};
+  ResilienceEngine engine = make_engine(opts);
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+
+  RecoveryRecord record;
+  const index_t resume =
+      engine.recover(*engine.pending_event(8), 8, solver_.client(), record);
+  // Perfectly recoverable state, but the policy says scratch only.
+  EXPECT_EQ(resume, 0);
+  EXPECT_EQ(solver_.reconstructions, 0);
+  EXPECT_EQ(record.rung, RecoveryRung::scratch);
+  EXPECT_EQ(record.attempted, (std::vector<RecoveryRung>{
+                                  RecoveryRung::scratch}));
+}
+
+TEST_F(EngineFixture, OlderSnapshotRungRecoversWhenNewestPairIsGone) {
+  // Two snapshot slots (the pipelined layout): when the newest target's
+  // copy pair is unusable, rung 2 walks back to the older stored snapshot
+  // and reconstructs there — still bitwise-exact, just further back.
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.failure = FailureEvent{13, {2}};
+  ResilienceEngine::Config cfg = config();
+  cfg.snapshot_slots = 2;
+  ResilienceEngine engine = make_engine(opts, cfg);
+
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  solver_.beta = 0.5;
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+  engine.push_copy(make_copy(11)); // tag 10 never stored: pair incomplete
+  solver_.beta = 0.75;
+  engine.save_snapshot(11, solver_.state());
+  engine.set_recoverable(11);
+
+  RecoveryRecord record;
+  const index_t resume =
+      engine.recover(*engine.pending_event(13), 13, solver_.client(), record);
+  EXPECT_EQ(resume, 6);
+  EXPECT_EQ(record.rung, RecoveryRung::older_snapshot);
+  EXPECT_EQ(record.restored_to, 6);
+  EXPECT_EQ(record.wasted_iterations, 7);
+  EXPECT_FALSE(record.restarted_from_scratch);
+  EXPECT_DOUBLE_EQ(solver_.beta, 0.5); // rolled back to the older stars
+  // The exact-only policy would have refused that walk-back.
+  EXPECT_EQ(solver_.last_prev_tag, 5);
+  EXPECT_EQ(solver_.last_cur_tag, 6);
+}
+
+TEST_F(EngineFixture, ExactPolicyRefusesOlderSnapshots) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy = recovery_policy_from_string("exact");
+  opts.failure = FailureEvent{13, {2}};
+  ResilienceEngine::Config cfg = config();
+  cfg.snapshot_slots = 2;
+  ResilienceEngine engine = make_engine(opts, cfg);
+
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+  engine.push_copy(make_copy(11));
+  engine.save_snapshot(11, solver_.state());
+  engine.set_recoverable(11);
+
+  RecoveryRecord record;
+  const index_t resume =
+      engine.recover(*engine.pending_event(13), 13, solver_.client(), record);
+  EXPECT_EQ(resume, 0);
+  EXPECT_EQ(record.rung, RecoveryRung::scratch);
+  EXPECT_EQ(solver_.reconstructions, 0);
+}
+
+TEST_F(EngineFixture, RetryBudgetCollapsesCascadesToScratch) {
+  // Two failures inside one storage period with max_attempts = 1: the
+  // second recovery has made no storage progress since the first, so the
+  // ladder deterministically collapses to scratch instead of thrashing.
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy.max_attempts = 1;
+  opts.failure = FailureEvent{8, {2}};
+  opts.extra_failures.push_back(FailureEvent{9, {4}});
+  ResilienceEngine engine = make_engine(opts);
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+
+  RecoveryRecord first;
+  ASSERT_EQ(engine.recover(*engine.pending_event(8), 8, solver_.client(),
+                           first),
+            6);
+  EXPECT_EQ(first.rung, RecoveryRung::reconstruct);
+
+  // No set_recoverable between the events: the budget is exhausted.
+  RecoveryRecord second;
+  EXPECT_EQ(engine.recover(*engine.pending_event(9), 9, solver_.client(),
+                           second),
+            0);
+  EXPECT_EQ(second.rung, RecoveryRung::scratch);
+  EXPECT_TRUE(second.restarted_from_scratch);
+  EXPECT_EQ(solver_.reconstructions, 1); // rung 1 never ran the second time
+}
+
+TEST_F(EngineFixture, StorageProgressResetsTheRetryBudget) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy.max_attempts = 1;
+  opts.failure = FailureEvent{8, {2}};
+  opts.extra_failures.push_back(FailureEvent{13, {4}});
+  ResilienceEngine engine = make_engine(opts);
+  engine.push_copy(make_copy(5));
+  engine.push_copy(make_copy(6));
+  engine.save_snapshot(6, solver_.state());
+  engine.set_recoverable(6);
+
+  RecoveryRecord first;
+  ASSERT_EQ(engine.recover(*engine.pending_event(8), 8, solver_.client(),
+                           first),
+            6);
+
+  // The re-executed iterations reach the next storage stage: the advanced
+  // recoverable tag resets the budget, so the second failure still gets the
+  // full ladder.
+  engine.push_copy(make_copy(10));
+  engine.push_copy(make_copy(11));
+  engine.save_snapshot(11, solver_.state());
+  engine.set_recoverable(11);
+
+  RecoveryRecord second;
+  EXPECT_EQ(engine.recover(*engine.pending_event(13), 13, solver_.client(),
+                           second),
+            11);
+  EXPECT_EQ(second.rung, RecoveryRung::reconstruct);
+}
+
+TEST_F(EngineFixture, ShrinkPolicyRepartitionsOnUnrecoverableFailure) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy = recovery_policy_from_string("shrink");
+  opts.failure = FailureEvent{3, {1}}; // before any storage stage
+  ResilienceEngine engine = make_engine(opts);
+
+  int repartitions = 0;
+  ResilienceEngine::Client client = solver_.client();
+  client.repartition = [&](std::span<const rank_t> failed) {
+    ++repartitions;
+    EXPECT_EQ(failed.size(), 1u);
+  };
+
+  RecoveryRecord record;
+  const index_t resume =
+      engine.recover(*engine.pending_event(3), 3, client, record);
+  EXPECT_EQ(resume, 0);
+  EXPECT_EQ(repartitions, 1);
+  EXPECT_EQ(record.rung, RecoveryRung::shrink);
+  EXPECT_TRUE(record.restarted_from_scratch); // restart on the shrunken map
+  EXPECT_EQ(record.ranks_absorbed, 1);
+  EXPECT_EQ(engine.retired_ranks(), (std::vector<rank_t>{1}));
+}
+
+TEST_F(EngineFixture, RejoinRungReExpandsAtTheNextStorageStage) {
+  ResilienceOptions opts;
+  opts.strategy = Strategy::esrp;
+  opts.interval = 5;
+  opts.policy = recovery_policy_from_string("shrink");
+  opts.failure = FailureEvent{3, {1}};
+  ResilienceEngine engine = make_engine(opts);
+
+  int rejoins = 0;
+  ResilienceEngine::Client client = solver_.client();
+  client.repartition = [](std::span<const rank_t>) {};
+  client.rejoin = [&] { ++rejoins; };
+
+  RecoveryRecord shrink_record;
+  engine.recover(*engine.pending_event(3), 3, client, shrink_record);
+  ASSERT_EQ(engine.retired_ranks().size(), 1u);
+
+  // Not a storage-stage boundary: no rejoin yet.
+  RecoveryRecord r1;
+  EXPECT_FALSE(engine.try_rejoin(4, client, r1));
+  EXPECT_EQ(rejoins, 0);
+
+  RecoveryRecord r2;
+  ASSERT_TRUE(engine.try_rejoin(5, client, r2));
+  EXPECT_EQ(rejoins, 1);
+  EXPECT_EQ(r2.rung, RecoveryRung::rejoin);
+  EXPECT_EQ(r2.ranks_rejoined, 1);
+  EXPECT_EQ(r2.wasted_iterations, 0);
+  EXPECT_TRUE(engine.retired_ranks().empty());
+  // Stale shrunken-map strategy state was dropped.
+  EXPECT_TRUE(engine.queue_tags().empty());
+  EXPECT_EQ(engine.last_recoverable(), -1);
+
+  // Nothing retired anymore: the next boundary is a no-op.
+  RecoveryRecord r3;
+  EXPECT_FALSE(engine.try_rejoin(10, client, r3));
 }
 
 TEST_F(EngineFixture, RecoveryZeroesFailedRanksBeforeReconstruction) {

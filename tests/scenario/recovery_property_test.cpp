@@ -160,6 +160,152 @@ TEST_P(ScenarioRecoveryProperty, RecoversExactlyOnRandomScenario) {
   EXPECT_EQ(fnv1a(res4.r), fnv1a(res.r));
 }
 
+// ----------------------------------------------------- cascading failures --
+// Directed cascades the random processes only rarely sample: a second
+// failure striking during the re-execution window of the first, and an
+// all-ranks catastrophe. Each case is checked at 1 thread and proven
+// bitwise-reproducible at 4 (the same contract as the random scenarios).
+
+class CascadingRecovery : public ::testing::Test {
+protected:
+  static SolveSpec base_spec() {
+    SolveSpec spec;
+    spec.matrix = "poisson2d:12,12";
+    spec.solver = "resilient-pcg";
+    spec.precond = "block-jacobi";
+    spec.nodes = kNodes;
+    spec.phi = 2;
+    spec.threads = 1;
+    return spec;
+  }
+
+  /// Reference trajectory (failure-free, strategy none) of base_spec.
+  static SolveReport reference() {
+    SolveSpec ref = base_spec();
+    ref.strategy = Strategy::none;
+    return solve(ref);
+  }
+
+  /// Rerun `spec` at 4 threads and require a bitwise-identical report.
+  static void expect_reproducible_at_4_threads(SolveSpec spec,
+                                               const SolveReport& res) {
+    spec.threads = 4;
+    const SolveReport res4 = solve(spec);
+    ASSERT_TRUE(res4.converged);
+    EXPECT_EQ(res4.iterations, res.iterations);
+    EXPECT_EQ(res4.executed_iterations, res.executed_iterations);
+    EXPECT_EQ(res4.final_relres, res.final_relres);
+    EXPECT_EQ(res4.modeled_time, res.modeled_time);
+    EXPECT_EQ(fnv1a(res4.x), fnv1a(res.x));
+    EXPECT_EQ(fnv1a(res4.r), fnv1a(res.r));
+  }
+};
+
+TEST_F(CascadingRecovery, SecondFailureDuringReExecutionRecoversExactly) {
+  // T = 20: the (20, 21) stage arms recovery; the failure at 25 rolls back
+  // to 21, and the failure at 26 strikes during the re-executed iterations
+  // — inside the same ESRP period, before any storage progress. Both climb
+  // the ladder to the reconstruct rung off the same stage.
+  const SolveReport ref = reference();
+  ASSERT_TRUE(ref.converged);
+
+  SolveSpec spec = base_spec();
+  spec.strategy = Strategy::esrp;
+  spec.interval = 20;
+  spec.failures.push_back(FailureEvent{25, {1}});
+  spec.failures.push_back(FailureEvent{26, {3}});
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 2u);
+  EXPECT_EQ(res.recoveries[0].rung, RecoveryRung::reconstruct);
+  EXPECT_EQ(res.recoveries[1].rung, RecoveryRung::reconstruct);
+  EXPECT_EQ(res.recoveries[0].copies_corrupt, 0);
+  EXPECT_EQ(res.recoveries[1].copies_corrupt, 0);
+
+  // Reconstruction-exact: the reference trajectory to inner-solve accuracy.
+  EXPECT_LE(std::llabs(static_cast<long long>(res.iterations) -
+                       static_cast<long long>(ref.iterations)),
+            1);
+  EXPECT_LT(vec_rel_diff_inf(res.x, ref.x), kEsrpRecoveryTol);
+
+  expect_reproducible_at_4_threads(spec, res);
+}
+
+TEST_F(CascadingRecovery, BackToBackFailuresInOneEsrpPeriodStayBounded) {
+  // Three failures inside one period: recoveries 1-3 all replay from the
+  // same stage with no storage progress between them, exercising the retry
+  // budget (default max_attempts = 3 — the third one still reconstructs).
+  const SolveReport ref = reference();
+  ASSERT_TRUE(ref.converged);
+
+  SolveSpec spec = base_spec();
+  spec.strategy = Strategy::esrp;
+  spec.interval = 20;
+  spec.failures.push_back(FailureEvent{23, {1}});
+  spec.failures.push_back(FailureEvent{24, {3}});
+  spec.failures.push_back(FailureEvent{25, {5}});
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 3u);
+  for (const RecoveryRecord& rec : res.recoveries)
+    EXPECT_EQ(rec.rung, RecoveryRung::reconstruct);
+  EXPECT_LT(vec_rel_diff_inf(res.x, ref.x), kEsrpRecoveryTol);
+
+  expect_reproducible_at_4_threads(spec, res);
+}
+
+TEST_F(CascadingRecovery, AllRanksFailingRestartsFromScratchBitwise) {
+  const SolveReport ref = reference();
+  ASSERT_TRUE(ref.converged);
+
+  SolveSpec spec = base_spec();
+  spec.strategy = Strategy::esrp;
+  spec.interval = 20;
+  std::vector<rank_t> all;
+  for (rank_t s = 0; s < kNodes; ++s) all.push_back(s);
+  spec.failures.push_back(FailureEvent{30, all});
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(res.converged);
+  ASSERT_EQ(res.recoveries.size(), 1u);
+  EXPECT_EQ(res.recoveries[0].rung, RecoveryRung::scratch);
+  EXPECT_TRUE(res.recoveries[0].restarted_from_scratch);
+  EXPECT_EQ(res.recoveries[0].ranks_lost, kNodes);
+
+  // A single scratch restart replays the reference arithmetic verbatim.
+  EXPECT_EQ(res.iterations, ref.iterations);
+  EXPECT_EQ(res.final_relres, ref.final_relres);
+  EXPECT_EQ(fnv1a(res.x), fnv1a(ref.x));
+  EXPECT_EQ(fnv1a(res.r), fnv1a(ref.r));
+
+  expect_reproducible_at_4_threads(spec, res);
+}
+
+TEST_F(CascadingRecovery, ShrinkPolicyShrinksThenRejoins) {
+  // A failure before the first storage stage is unrecoverable; under the
+  // "shrink" policy the survivors absorb the lost ranges and restart on
+  // the shrunken map, and the retired rank rejoins at the next
+  // storage-stage boundary.
+  SolveSpec spec = base_spec();
+  spec.strategy = Strategy::esrp;
+  spec.interval = 20;
+  spec.recovery_policy = "shrink";
+  spec.failures.push_back(FailureEvent{5, {2}});
+  const SolveReport res = solve(spec);
+  ASSERT_TRUE(res.converged);
+  ASSERT_GE(res.recoveries.size(), 2u);
+  EXPECT_EQ(res.recoveries[0].rung, RecoveryRung::shrink);
+  EXPECT_EQ(res.recoveries[0].ranks_absorbed, 1);
+  EXPECT_EQ(res.recoveries[1].rung, RecoveryRung::rejoin);
+  EXPECT_EQ(res.recoveries[1].ranks_rejoined, 1);
+
+  // The ladder never changes the answer, only the route to it.
+  TestProblem prob = resolve_matrix("poisson2d:12,12");
+  const Vector rhs = xp::make_rhs(prob.matrix);
+  EXPECT_LT(true_relative_residual(prob.matrix, rhs, res.x), 1e-7);
+
+  expect_reproducible_at_4_threads(spec, res);
+}
+
 std::vector<PropertyCase> make_cases() {
   std::vector<PropertyCase> cases;
   for (const char* solver : {"resilient-pcg", "dist-pipelined"})

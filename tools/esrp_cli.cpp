@@ -74,9 +74,11 @@ constexpr OptionSpec kOptions[] = {
      "cluster shape: homogeneous | straggler:... |\n"
      "                    slow-rack:... | slow-links:... (see --list)"},
     {"--sdc", "KV",
-     "inject a silent bit-flip: it=J[,vec=p|x|r]\n"
-     "                    [,entry=E][,bit=B] (resilient-pcg; pair with\n"
-     "                    --residual-replacement to detect it)"},
+     "inject a silent bit-flip: it=J[,vec=p|x|r|\n"
+     "                    checkpoint|pcopy][,entry=E][,bit=B]\n"
+     "                    (resilient-pcg; live vectors detect via\n"
+     "                    --residual-replacement, redundant state via the\n"
+     "                    recovery ladder's checksums)"},
     {"--residual-replacement", "K",
      "recompute r = b - A x every K iterations\n"
      "                    (default 0 = never; resilient-pcg only)"},
@@ -91,6 +93,10 @@ constexpr OptionSpec kOptions[] = {
      "                    print the plan-cache statistics (default 1)"},
     {"--no-spares", nullptr,
      "recover onto survivors (resilient-pcg ESRP only)"},
+    {"--recovery-policy", "P",
+     "ladder | exact | checkpoint | scratch | shrink\n"
+     "                    recovery-ladder preset (default ladder; shrink\n"
+     "                    needs resilient-pcg + esrp, see --list)"},
     {"--list", nullptr, "print the registered solvers, preconditioners,\n"
                         "                    and matrix generators, then exit"},
     {"--quiet", nullptr, "machine-readable one-line output"},
@@ -149,6 +155,13 @@ void print_solver_registry() {
       caps += e.supports_no_spare ? "; no-spare recovery" : "; spares only";
       if (!e.supports_residual_replacement) caps += "; no residual replacement";
       if (e.supports_sdc) caps += "; sdc injection";
+      // The recovery-ladder rungs this solver can climb (the shrink and
+      // rejoin rungs need the repartition/rejoin hooks).
+      caps += e.supports_shrink
+                  ? "; rungs: reconstruct, older-snapshot, checkpoint, "
+                    "shrink, rejoin, scratch"
+                  : "; rungs: reconstruct, older-snapshot, checkpoint, "
+                    "scratch";
     }
     if (!e.supports_x0) caps += "; no initial guess (x0)";
     std::printf("  %-15s   [%s]\n", "", caps.c_str());
@@ -252,6 +265,7 @@ int main(int argc, char** argv) {
   spec.residual_replacement =
       std::atol(get("--residual-replacement", "0").c_str());
   spec.cluster_shape = get("--cluster", "");
+  spec.recovery_policy = get("--recovery-policy", "ladder");
 
   // --sdc is strict k=v parsing (scenario/kv_params.hpp), so a typo'd key
   // is a usage error like an unknown registry key. Semantic checks
@@ -435,6 +449,14 @@ int main(int argc, char** argv) {
                     static_cast<long long>(res.iterations),
                     static_cast<long long>(res.executed_iterations),
                     res.modeled_time, res.recoveries.size(), res.drift);
+        if (!res.recoveries.empty()) {
+          std::string rungs;
+          for (const RecoveryRecord& rec : res.recoveries) {
+            if (!rungs.empty()) rungs += ',';
+            rungs += to_string(rec.rung);
+          }
+          std::printf(" rungs=%s", rungs.c_str());
+        }
         if (!res.sdc.empty())
           std::printf(" sdc_detected=%zu/%zu", detected, res.sdc.size());
         std::printf("\n");
@@ -453,9 +475,10 @@ int main(int argc, char** argv) {
     std::printf("solver:        %s, preconditioner %s\n", res.solver.c_str(),
                 res.precond.c_str());
     if (distributed)
-      std::printf("strategy:      %s, T = %lld, phi = %d%s\n",
+      std::printf("strategy:      %s, T = %lld, phi = %d, policy %s%s\n",
                   to_string(spec.strategy).c_str(),
                   static_cast<long long>(spec.interval), spec.phi,
+                  spec.recovery_policy.c_str(),
                   no_spares ? ", no spares" : "");
     const int threads = spec.threads >= 0 ? spec.threads : num_threads();
     if (threads != 1)
@@ -473,12 +496,35 @@ int main(int argc, char** argv) {
                     100 * (res.modeled_time - t0) / t0);
       for (const RecoveryRecord& rec : res.recoveries) {
         std::printf("recovery:      failed at %lld, resumed from %lld "
-                    "(%lld redone)%s, %.4f s modeled\n",
+                    "(%lld redone) via %s, %.4f s modeled\n",
                     static_cast<long long>(rec.failed_at),
                     static_cast<long long>(rec.restored_to),
                     static_cast<long long>(rec.wasted_iterations),
-                    rec.restarted_from_scratch ? " [scratch restart]" : "",
-                    rec.modeled_time);
+                    to_string(rec.rung).c_str(), rec.modeled_time);
+        if (rec.attempted.size() > 1) {
+          std::string path;
+          for (const RecoveryRung r : rec.attempted) {
+            if (!path.empty()) path += " -> ";
+            path += to_string(r);
+          }
+          std::printf("               ladder: %s\n", path.c_str());
+        }
+        if (rec.copies_corrupt > 0 || rec.checkpoints_corrupt > 0)
+          std::printf("               integrity: %lld corrupt cop%s, "
+                      "%lld corrupt checkpoint%s demoted (%lld copies "
+                      "verified)\n",
+                      static_cast<long long>(rec.copies_corrupt),
+                      rec.copies_corrupt == 1 ? "y" : "ies",
+                      static_cast<long long>(rec.checkpoints_corrupt),
+                      rec.checkpoints_corrupt == 1 ? "" : "s",
+                      static_cast<long long>(rec.copies_verified));
+        if (rec.ranks_absorbed > 0 || rec.ranks_rejoined > 0)
+          std::printf("               cluster: %lld rank%s lost, %lld "
+                      "absorbed, %lld rejoined\n",
+                      static_cast<long long>(rec.ranks_lost),
+                      rec.ranks_lost == 1 ? "" : "s",
+                      static_cast<long long>(rec.ranks_absorbed),
+                      static_cast<long long>(rec.ranks_rejoined));
       }
       for (const SdcRecord& s : res.sdc) {
         std::printf("sdc:           bit %d of %s[%lld] flipped at %lld on "
