@@ -2,7 +2,9 @@
 // simulator's wall-clock cost: sequential SpMV, the distributed SpMV and
 // ASpMV exchanges, the block Jacobi apply, a full resilient PCG iteration,
 // checkpoint storage, one Alg. 2 state reconstruction, the thread scaling
-// of the parallel SpMV / BLAS-1 kernels (1/2/4/8 threads), the fused
+// of the parallel SpMV / BLAS-1 kernels (1/2/4/8 threads, operands
+// first-touched under the kernels' own partition), the SELL-C-σ SpMV vs.
+// CSR (with a SUMMARY assertion that SELL never loses), the fused
 // iteration kernels vs. their separate-kernel baselines (with a SUMMARY
 // assertion that fusion is not slower at large n), and the esrp::solve
 // facade's end-to-end dispatch overhead vs. the direct call.
@@ -10,6 +12,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "api/registry.hpp"
 #include "api/solve.hpp"
@@ -23,6 +26,7 @@
 #include "precond/jacobi.hpp"
 #include "solver/pcg.hpp"
 #include "sparse/generators.hpp"
+#include "sparse/sell.hpp"
 #include "xp/experiment.hpp"
 
 namespace {
@@ -40,6 +44,38 @@ const CsrMatrix& scaling_matrix() {
   static const CsrMatrix a = poisson3d(64, 64, 64);
   return a;
 }
+
+/// SELL-C-σ mirror of scaling_matrix(), built once (the registry's
+/// `format=sell` path amortizes conversion the same way via ProblemHandle).
+const SellMatrix& sell_scaling_matrix() {
+  static const SellMatrix s(scaling_matrix(), kDefaultSellSigma);
+  return s;
+}
+
+/// First-touch operand for the scaling benches: default-initialized storage
+/// (no serial zero-fill from the Vector constructor) whose pages are first
+/// written under the *same* parallel_for partition the elementwise kernels
+/// use. On a NUMA machine that places each thread's slice on its own node;
+/// construct it after set_num_threads so the partition matches the run.
+struct FirstTouch {
+  FirstTouch(std::size_t n, real_t value)
+      : data(new real_t[n]), size(n) {
+    const auto in = static_cast<index_t>(n);
+    parallel_for(index_t{0}, in, elementwise_grain(in),
+                 [&](index_t lo, index_t hi) {
+                   for (index_t i = lo; i < hi; ++i)
+                     data[static_cast<std::size_t>(i)] = value;
+                 });
+  }
+  /// First-touch placement, then parallel copy of `src` into it.
+  FirstTouch(std::span<const real_t> src) : FirstTouch(src.size(), 0) {
+    vec_copy(src, span());
+  }
+  std::span<real_t> span() { return {data.get(), size}; }
+  std::span<const real_t> span() const { return {data.get(), size}; }
+  std::unique_ptr<real_t[]> data;
+  std::size_t size;
+};
 
 void BM_SequentialSpmv(benchmark::State& state) {
   const CsrMatrix& a = test_matrix();
@@ -417,11 +453,12 @@ BENCHMARK(BM_FusedKernelAssert)->Iterations(1)->Unit(benchmark::kMillisecond);
 void BM_SpmvThreadScaling(benchmark::State& state) {
   const CsrMatrix& a = scaling_matrix();
   set_num_threads(static_cast<int>(state.range(0)));
-  const Vector x = xp::make_rhs(a);
-  Vector y(x.size());
+  const Vector rhs = xp::make_rhs(a);
+  const FirstTouch x(rhs);
+  FirstTouch y(rhs.size(), 0);
   for (auto _ : state) {
-    a.spmv(x, y);
-    benchmark::DoNotOptimize(y.data());
+    a.spmv(x.span(), y.span());
+    benchmark::DoNotOptimize(y.data.get());
   }
   state.SetItemsProcessed(state.iterations() * a.nnz());
   state.SetBytesProcessed(
@@ -432,34 +469,119 @@ void BM_SpmvThreadScaling(benchmark::State& state) {
 BENCHMARK(BM_SpmvThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
-void BM_DotThreadScaling(benchmark::State& state) {
+// --- SELL-C-σ (perf_opt acceptance: at large n the chunked, lane-parallel
+// SELL kernels must beat row-serial CSR on the same matrix while staying
+// bitwise identical — the parity side is pinned by tests/sparse/sell_test;
+// these benches plus BM_SellSpeedupAssert pin the speed side).
+
+void BM_SpmvSellThreadScaling(benchmark::State& state) {
   const CsrMatrix& a = scaling_matrix();
+  const SellMatrix& s = sell_scaling_matrix();
   set_num_threads(static_cast<int>(state.range(0)));
-  const Vector x = xp::make_rhs(a);
-  Vector y(x.size(), 0.5);
+  const Vector rhs = xp::make_rhs(a);
+  const FirstTouch x(rhs);
+  FirstTouch y(rhs.size(), 0);
+  for (auto _ : state) {
+    s.spmv(x.span(), y.span());
+    benchmark::DoNotOptimize(y.data.get());
+  }
+  state.SetItemsProcessed(state.iterations() * a.nnz());
+  // The actual matrix stream: padded values plus the run-compressed column
+  // stream (one 32-bit base per position in packed chunks).
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<int64_t>(s.padded_entries() * sizeof(real_t) +
+                           s.col_stream_entries() * sizeof(std::int32_t)));
+  set_num_threads(1);
+}
+BENCHMARK(BM_SpmvSellThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_SpmvDotSellFused(benchmark::State& state) {
+  const SellMatrix& s = sell_scaling_matrix();
+  set_num_threads(static_cast<int>(state.range(0)));
+  const Vector rhs = xp::make_rhs(scaling_matrix());
+  const FirstTouch p(rhs);
+  FirstTouch y(rhs.size(), 0);
   real_t sink = 0;
   for (auto _ : state) {
-    sink += vec_dot(x, y);
+    sink += s.spmv_dot(p.span(), y.span());
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * s.nnz());
+  set_num_threads(1);
+}
+BENCHMARK(BM_SpmvDotSellFused)->Arg(1)->Arg(4)->UseRealTime();
+
+void BM_SellSpeedupAssert(benchmark::State& state) {
+  // Best-of-5 single-thread wall time, SELL vs CSR spmv on the 1.8M-nnz
+  // stencil. The gate is deliberately below the typical measured win so it
+  // only fires on a real regression (SELL falling behind CSR), not on
+  // machine-to-machine bandwidth differences; the actual ratio lands in the
+  // label and the BENCH_*.json trajectory.
+  const CsrMatrix& a = scaling_matrix();
+  const SellMatrix& s = sell_scaling_matrix();
+  const Vector p = xp::make_rhs(a);
+  Vector y(p.size());
+
+  auto best_of = [](int reps, auto&& fn) {
+    double best = 1e300;
+    for (int i = 0; i < reps; ++i) {
+      WallTimer t;
+      fn();
+      best = std::min(best, t.seconds());
+    }
+    return best;
+  };
+
+  double csr = 0, sell = 0;
+  for (auto _ : state) {
+    csr = best_of(5, [&] { a.spmv(p, y); });
+    sell = best_of(5, [&] { s.spmv(p, y); });
+    benchmark::DoNotOptimize(y.data());
+  }
+  char label[96];
+  std::snprintf(label, sizeof label, "sell speedup %.2fx over csr spmv",
+                csr / sell);
+  state.SetLabel(label);
+  if (sell > csr)
+    state.SkipWithError(label);
+}
+BENCHMARK(BM_SellSpeedupAssert)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+/// DRAM-sized BLAS-1 operands: the old 262,144-element vectors (4 MB) fit
+/// in many LLCs, so the 1-thread numbers flattered cache bandwidth and the
+/// scaling curve under-reported the memory wall. 2^22 doubles = 32 MB per
+/// operand streams from DRAM, and at kReduceGrain = 2^14 a dot still cuts
+/// into 256 chunks — plenty to feed 8 threads.
+constexpr std::size_t kBlas1Len = std::size_t{1} << 22;
+
+void BM_DotThreadScaling(benchmark::State& state) {
+  set_num_threads(static_cast<int>(state.range(0)));
+  const FirstTouch x(kBlas1Len, 0.25);
+  const FirstTouch y(kBlas1Len, 0.5);
+  real_t sink = 0;
+  for (auto _ : state) {
+    sink += vec_dot(x.span(), y.span());
     benchmark::DoNotOptimize(sink);
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(x.size()));
+                          static_cast<int64_t>(kBlas1Len));
   set_num_threads(1);
 }
 BENCHMARK(BM_DotThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->UseRealTime();
 
 void BM_AxpyThreadScaling(benchmark::State& state) {
-  const CsrMatrix& a = scaling_matrix();
   set_num_threads(static_cast<int>(state.range(0)));
-  const Vector x = xp::make_rhs(a);
-  Vector y(x.size(), 0.5);
+  const FirstTouch x(kBlas1Len, 0.25);
+  FirstTouch y(kBlas1Len, 0.5);
   for (auto _ : state) {
-    vec_axpy(y, 1e-9, x);
-    benchmark::DoNotOptimize(y.data());
+    vec_axpy(y.span(), 1e-9, x.span());
+    benchmark::DoNotOptimize(y.data.get());
   }
   state.SetItemsProcessed(state.iterations() *
-                          static_cast<int64_t>(x.size()));
+                          static_cast<int64_t>(kBlas1Len));
   set_num_threads(1);
 }
 BENCHMARK(BM_AxpyThreadScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)

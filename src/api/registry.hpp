@@ -9,7 +9,10 @@
 //   matrix_registry()  — "emilia", "audikw", "poisson2d", "poisson3d",
 //                        "laplace1d", "mm"; parameterized keys take an
 //                        argument after a colon, e.g. "poisson2d:24,24",
-//                        "emilia:8,8,8", "mm:/path/to/matrix.mtx"
+//                        "emilia:8,8,8", "mm:/path/to/matrix.mtx"; a
+//                        ";format=sell[;sigma=N]" suffix converts the built
+//                        matrix to SELL-C-σ (sparse/sell.hpp) for the
+//                        vectorized SpMV kernels
 //
 // Lookups of unknown keys throw esrp::Error with a "did you mean" hint and
 // the list of valid keys; duplicate registrations are rejected.
@@ -205,14 +208,18 @@ using MatrixFactory = std::function<TestProblem(const std::string& arg)>;
 
 Registry<MatrixFactory>& matrix_registry();
 
-/// Split a "key" or "key:arg" matrix spec and build the problem. Unknown
+/// Build the problem for a "key[:arg][;option]..." matrix spec. Unknown
 /// base keys throw with the "did you mean" message; malformed arguments
-/// (wrong dimension count, non-positive sizes) throw esrp::Error.
+/// (wrong dimension count, non-positive sizes) and unknown options throw
+/// esrp::Error. Supported options: "format=sell" attaches a SELL-C-σ mirror
+/// to the built matrix (CsrMatrix::attach_sell) so spmv/spmv_dot run the
+/// vectorized chunked kernels, "sigma=<rows>" sets its sorting window
+/// (default kDefaultSellSigma), and "format=csr" is the explicit default.
 TestProblem resolve_matrix(const std::string& spec);
 
-/// Lookup-only variant of resolve_matrix: validates the base key (throwing
-/// the same "did you mean" error) without building the matrix. Lets the CLI
-/// reject typos before any expensive work.
+/// Lookup-only variant of resolve_matrix: validates the base key and the
+/// format/sigma options (throwing the same errors) without building the
+/// matrix. Lets the CLI reject typos before any expensive work.
 void check_matrix_key(const std::string& spec);
 
 } // namespace esrp

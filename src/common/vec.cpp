@@ -2,13 +2,16 @@
 
 #include <algorithm>
 
+#include "common/simd.hpp"
 #include "parallel/parallel.hpp"
 
 namespace esrp {
 
 // Elementwise kernels parallelize with elementwise_grain (adaptive with a
-// serial floor): every index writes its own output slot, so results are
-// bitwise identical at any thread count.
+// serial floor) and vectorize in stripes of kSimdLanes indices: every index
+// writes its own output slot and per lane the stripe performs the exact
+// per-index operation, so results are bitwise identical at any thread count
+// and identical to the scalar fallback (common/simd.hpp).
 
 void vec_copy(std::span<const real_t> x, std::span<real_t> y) {
   ESRP_CHECK(x.size() == y.size());
@@ -29,31 +32,44 @@ void vec_zero(std::span<real_t> x) {
 
 void vec_scale(std::span<real_t> x, real_t alpha) {
   parallel_for(index_t{0}, static_cast<index_t>(x.size()),
-               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
-                 for (index_t i = lo; i < hi; ++i)
-                   x[static_cast<std::size_t>(i)] *= alpha;
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 real_t* xp = x.data();
+                 const Vec4 a = Vec4::broadcast(alpha);
+                 index_t i = lo;
+                 for (; i + kSimdLanes <= hi; i += kSimdLanes)
+                   (Vec4::load(xp + i) * a).store(xp + i);
+                 for (; i < hi; ++i) xp[i] *= alpha;
                });
 }
 
 void vec_axpy(std::span<real_t> y, real_t alpha, std::span<const real_t> x) {
   ESRP_CHECK(x.size() == y.size());
   parallel_for(index_t{0}, static_cast<index_t>(x.size()),
-               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
-                 for (index_t i = lo; i < hi; ++i) {
-                   const auto k = static_cast<std::size_t>(i);
-                   y[k] += alpha * x[k];
-                 }
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 const real_t* xp = x.data();
+                 real_t* yp = y.data();
+                 const Vec4 a = Vec4::broadcast(alpha);
+                 index_t i = lo;
+                 for (; i + kSimdLanes <= hi; i += kSimdLanes)
+                   (Vec4::load(yp + i) + a * Vec4::load(xp + i)).store(yp + i);
+                 for (; i < hi; ++i) yp[i] += alpha * xp[i];
                });
 }
 
 void vec_xpby(std::span<real_t> y, std::span<const real_t> x, real_t beta) {
   ESRP_CHECK(x.size() == y.size());
   parallel_for(index_t{0}, static_cast<index_t>(x.size()),
-               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
-                 for (index_t i = lo; i < hi; ++i) {
-                   const auto k = static_cast<std::size_t>(i);
-                   y[k] = x[k] + beta * y[k];
-                 }
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 const real_t* xp = x.data();
+                 real_t* yp = y.data();
+                 const Vec4 b = Vec4::broadcast(beta);
+                 index_t i = lo;
+                 for (; i + kSimdLanes <= hi; i += kSimdLanes)
+                   (Vec4::load(xp + i) + b * Vec4::load(yp + i)).store(yp + i);
+                 for (; i < hi; ++i) yp[i] = xp[i] + beta * yp[i];
                });
 }
 
@@ -61,35 +77,37 @@ void vec_pointwise_mul(std::span<const real_t> x, std::span<const real_t> y,
                        std::span<real_t> z) {
   ESRP_CHECK(x.size() == y.size() && y.size() == z.size());
   parallel_for(index_t{0}, static_cast<index_t>(x.size()),
-               elementwise_grain(static_cast<index_t>(x.size())), [&](index_t lo, index_t hi) {
-                 for (index_t i = lo; i < hi; ++i) {
-                   const auto k = static_cast<std::size_t>(i);
-                   z[k] = x[k] * y[k];
-                 }
+               elementwise_grain(static_cast<index_t>(x.size())),
+               [&](index_t lo, index_t hi) {
+                 const real_t* xp = x.data();
+                 const real_t* yp = y.data();
+                 real_t* zp = z.data();
+                 index_t i = lo;
+                 for (; i + kSimdLanes <= hi; i += kSimdLanes)
+                   (Vec4::load(xp + i) * Vec4::load(yp + i)).store(zp + i);
+                 for (; i < hi; ++i) zp[i] = xp[i] * yp[i];
                });
 }
 
-// Reductions use the fixed kReduceGrain so chunk boundaries never move:
-// bitwise reproducible run-to-run at any thread count (docs/parallelism.md).
+// Reductions use the fixed kReduceGrain so chunk boundaries never move, and
+// the lane-ordered chunk kernels of common/simd.hpp inside each chunk:
+// bitwise reproducible run-to-run at any thread count, per thread count, and
+// across scalar/SSE/AVX2 builds (docs/parallelism.md).
 
 real_t vec_dot(std::span<const real_t> x, std::span<const real_t> y) {
   ESRP_CHECK(x.size() == y.size());
   return parallel_reduce(index_t{0}, static_cast<index_t>(x.size()),
                          kReduceGrain, real_t{0},
                          [&](index_t lo, index_t hi) {
-                           real_t acc = 0;
-                           for (index_t i = lo; i < hi; ++i) {
-                             const auto k = static_cast<std::size_t>(i);
-                             acc += x[k] * y[k];
-                           }
-                           return acc;
+                           return simd_dot_chunk(x.data(), y.data(), lo, hi);
                          });
 }
 
 real_t vec_norm2(std::span<const real_t> x) { return std::sqrt(vec_dot(x, x)); }
 
 real_t vec_norm_inf(std::span<const real_t> x) {
-  // max is associative and commutative: any chunking is exact.
+  // max is associative and commutative: any chunking or lane split is exact,
+  // so the plain serial chunk loop needs no lane-order bookkeeping.
   return parallel_reduce(
       index_t{0}, static_cast<index_t>(x.size()), kReduceGrain, real_t{0},
       [&](index_t lo, index_t hi) {
@@ -106,13 +124,7 @@ real_t vec_dist2(std::span<const real_t> x, std::span<const real_t> y) {
   const real_t acc = parallel_reduce(
       index_t{0}, static_cast<index_t>(x.size()), kReduceGrain, real_t{0},
       [&](index_t lo, index_t hi) {
-        real_t a = 0;
-        for (index_t i = lo; i < hi; ++i) {
-          const auto k = static_cast<std::size_t>(i);
-          const real_t d = x[k] - y[k];
-          a += d * d;
-        }
-        return a;
+        return simd_dist2_chunk(x.data(), y.data(), lo, hi);
       });
   return std::sqrt(acc);
 }

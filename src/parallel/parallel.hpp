@@ -7,13 +7,14 @@
 //     writes disjoint outputs per index (all kernels here do), results are
 //     bitwise identical at every thread count.
 //   * parallel_reduce — the range is cut into fixed chunks of `grain`
-//     indices; each chunk's partial is computed by a left-to-right serial
-//     loop and the partials are combined in index order. Chunk boundaries
-//     depend only on (range, grain), never on the thread count or on task
-//     timing, so a reduction is bitwise reproducible run-to-run at any
-//     thread count >= 2 — and identical *across* those thread counts.
-//   * num_threads() == 1 executes the untouched serial loop (single chunk),
-//     bit-identical to the pre-threading behavior of this library.
+//     indices; each chunk's partial is computed by the chunk body (for the
+//     numeric kernels: the fixed lane-ordered SIMD loop of common/simd.hpp)
+//     and the partials are combined in index order. Chunk boundaries depend
+//     only on (range, grain), never on the thread count or on task timing,
+//     so a reduction is bitwise reproducible run-to-run at any thread
+//     count >= 2 — and identical *across* those thread counts.
+//   * num_threads() == 1 executes the same chunk body inline over the whole
+//     range as a single chunk — same per-chunk arithmetic, no pool.
 #pragma once
 
 #include <algorithm>

@@ -4,8 +4,10 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 #include "parallel/parallel.hpp"
 #include "sparse/coo.hpp"
+#include "sparse/sell.hpp"
 
 namespace esrp {
 
@@ -61,6 +63,13 @@ real_t CsrMatrix::at(index_t i, index_t j) const {
 void CsrMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
   ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
   ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
+  // An attached SELL-C-σ mirror computes each row's sum in the same column
+  // order as the loop below (sparse/sell.hpp), so routing through it changes
+  // speed, not bits.
+  if (sell_ != nullptr) {
+    sell_->spmv(x, y);
+    return;
+  }
   // Row-range partitioning: each chunk owns a disjoint slice of y and every
   // row is computed exactly as in the serial loop, so the product is bitwise
   // identical at any thread count. The grain floor keeps short rows from
@@ -78,31 +87,32 @@ real_t CsrMatrix::spmv_dot(std::span<const real_t> x,
   ESRP_CHECK_MSG(rows_ == cols_, "spmv_dot requires a square matrix");
   ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
   ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
+  // Same bitwise contract as spmv's routing: the mirror's fused kernel uses
+  // the identical row chunking and lane-ordered dot below.
+  if (sell_ != nullptr) return sell_->spmv_dot(x, y);
   // The row chunking must equal vec_dot's kReduceGrain index chunking (not
-  // spmv's adaptive grain): the dot partials are then the same sums in the
-  // same order as the separate vec_dot, and y itself is per-row exact under
-  // any partitioning, giving bitwise parity with the unfused pair.
+  // spmv's adaptive grain), and the per-chunk dot must be the lane-ordered
+  // simd_dot_chunk: the dot partials are then the same sums in the same
+  // order as the separate vec_dot, and y itself is per-row exact under any
+  // partitioning, giving bitwise parity with the unfused pair.
   return parallel_reduce(index_t{0}, rows_, kReduceGrain, real_t{0},
                          [&](index_t lo, index_t hi) {
                            spmv_rows(lo, hi, x,
                                      y.subspan(static_cast<std::size_t>(lo),
                                                static_cast<std::size_t>(hi - lo)));
-                           real_t acc = 0;
-                           for (index_t i = lo; i < hi; ++i) {
-                             const auto k = static_cast<std::size_t>(i);
-                             acc += x[k] * y[k];
-                           }
-                           return acc;
+                           return simd_dot_chunk(x.data(), y.data(), lo, hi);
                          });
 }
 
 namespace {
 
 /// Shared-sweep row kernel of the multi-RHS SpMV: for each row, stream the
-/// nnz once and accumulate all k products. Per RHS the additions happen in
-/// the same nnz order as spmv_rows, so each output is bitwise identical to
-/// the single-RHS kernel; the j-loop only decides which accumulator an
-/// addition lands in.
+/// nnz once and accumulate all k products, vectorizing lane-per-RHS (the
+/// batch dimension is contiguous in `acc`, so stripes of kSimdLanes RHS
+/// share one broadcast of the matrix value). Per RHS the additions happen in
+/// the same nnz order as spmv_rows — the lane split only decides which
+/// accumulator an addition lands in — so each output is bitwise identical to
+/// the single-RHS kernel.
 void multi_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
                 std::span<const std::span<const real_t>> xs,
                 std::span<const std::span<real_t>> ys, std::span<real_t> acc) {
@@ -117,7 +127,15 @@ void multi_rows(const CsrMatrix& a, index_t row_begin, index_t row_end,
     for (std::size_t nz = b; nz < e; ++nz) {
       const real_t v = values[nz];
       const auto c = static_cast<std::size_t>(col_idx[nz]);
-      for (std::size_t j = 0; j < k; ++j) acc[j] += v * xs[j][c];
+      const Vec4 vv = Vec4::broadcast(v);
+      std::size_t j = 0;
+      for (; j + static_cast<std::size_t>(kSimdLanes) <= k;
+           j += static_cast<std::size_t>(kSimdLanes)) {
+        const Vec4 xv =
+            Vec4::set(xs[j][c], xs[j + 1][c], xs[j + 2][c], xs[j + 3][c]);
+        (Vec4::load(acc.data() + j) + vv * xv).store(acc.data() + j);
+      }
+      for (; j < k; ++j) acc[j] += v * xs[j][c];
     }
     for (std::size_t j = 0; j < k; ++j)
       ys[j][static_cast<std::size_t>(i)] = acc[j];
@@ -152,9 +170,10 @@ void CsrMatrix::spmv_multi_dot(std::span<const std::span<const real_t>> xs,
   }
   if (xs.empty()) return;
   // Same structure as spmv_dot, vector-valued: rows chunked by the fixed
-  // kReduceGrain, each chunk's per-RHS dot partial accumulated serially in
-  // row order, partials combined componentwise in index order — per RHS
-  // exactly the scalar reduction spmv_dot performs, hence bitwise parity.
+  // kReduceGrain, each chunk's per-RHS dot partial produced by the
+  // lane-ordered simd_dot_chunk, partials combined componentwise in index
+  // order — per RHS exactly the reduction spmv_dot performs, hence bitwise
+  // parity.
   using Partial = std::vector<real_t>;
   Partial total = parallel_reduce(
       index_t{0}, rows_, kReduceGrain, Partial(xs.size(), real_t{0}),
@@ -162,14 +181,8 @@ void CsrMatrix::spmv_multi_dot(std::span<const std::span<const real_t>> xs,
         Partial part(xs.size(), real_t{0});
         std::vector<real_t> acc(xs.size());
         multi_rows(*this, lo, hi, xs, ys, acc);
-        for (std::size_t j = 0; j < xs.size(); ++j) {
-          real_t d = 0;
-          for (index_t i = lo; i < hi; ++i) {
-            const auto k = static_cast<std::size_t>(i);
-            d += xs[j][k] * ys[j][k];
-          }
-          part[j] = d;
-        }
+        for (std::size_t j = 0; j < xs.size(); ++j)
+          part[j] = simd_dot_chunk(xs[j].data(), ys[j].data(), lo, hi);
         return part;
       },
       [](Partial a, Partial b) {

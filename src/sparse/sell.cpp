@@ -1,0 +1,224 @@
+#include "sparse/sell.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+#include "parallel/parallel.hpp"
+
+namespace esrp {
+
+SellMatrix::SellMatrix(const CsrMatrix& a, index_t sigma) {
+  ESRP_CHECK_MSG(sigma >= 1, "SELL-C-sigma sorting window must be >= 1");
+  ESRP_CHECK_MSG(a.cols() <= std::numeric_limits<std::int32_t>::max(),
+                 "SELL-C-sigma stores 32-bit column indices");
+  rows_ = a.rows();
+  cols_ = a.cols();
+  nnz_ = a.nnz();
+  sigma_ = sigma;
+  n_chunks_ = (rows_ + kChunkRows - 1) / kChunkRows;
+
+  const auto row_ptr = a.row_ptr();
+  const auto row_len = [&](index_t i) {
+    return row_ptr[static_cast<std::size_t>(i) + 1] -
+           row_ptr[static_cast<std::size_t>(i)];
+  };
+
+  // Sort rows by descending length within σ windows, stably (ties keep
+  // original order — the permutation is a pure function of the sparsity
+  // pattern). Windows are clipped at kReduceGrain boundaries so a window
+  // never mixes rows from two reduction chunks; spmv_dot relies on slots
+  // [g*G, (g+1)*G) holding exactly the original rows [g*G, (g+1)*G).
+  perm_.resize(static_cast<std::size_t>(rows_));
+  for (index_t i = 0; i < rows_; ++i)
+    perm_[static_cast<std::size_t>(i)] = i;
+  for (index_t wb = 0; wb < rows_;) {
+    const index_t grain_end = (wb / kReduceGrain + 1) * kReduceGrain;
+    const index_t we = std::min({rows_, wb + sigma_, grain_end});
+    std::stable_sort(perm_.begin() + wb, perm_.begin() + we,
+                     [&](index_t ra, index_t rb) {
+                       return row_len(ra) > row_len(rb);
+                     });
+    wb = we;
+  }
+
+  chunk_len_.resize(static_cast<std::size_t>(n_chunks_));
+  chunk_ptr_.resize(static_cast<std::size_t>(n_chunks_) + 1);
+  chunk_ptr_[0] = 0;
+  for (index_t c = 0; c < n_chunks_; ++c) {
+    index_t longest = 0;
+    for (index_t l = 0; l < kChunkRows; ++l) {
+      const index_t slot = c * kChunkRows + l;
+      if (slot < rows_)
+        longest =
+            std::max(longest, row_len(perm_[static_cast<std::size_t>(slot)]));
+    }
+    chunk_len_[static_cast<std::size_t>(c)] = longest;
+    chunk_ptr_[static_cast<std::size_t>(c) + 1] =
+        chunk_ptr_[static_cast<std::size_t>(c)] + longest * kChunkRows;
+  }
+
+  // Padding entries stay value 0.0 / column 0: the +0.0 product never
+  // changes an accumulator's bits (sell.hpp), and column 0 is a valid read
+  // whenever any entry exists at all.
+  const auto total = static_cast<std::size_t>(
+      chunk_ptr_[static_cast<std::size_t>(n_chunks_)]);
+  values_.assign(total, real_t{0});
+  std::vector<std::int32_t> full_cols(total, 0);
+  const index_t fill_grain = std::max<index_t>(64, adaptive_grain(n_chunks_, 8));
+  parallel_for(index_t{0}, n_chunks_, fill_grain, [&](index_t clo,
+                                                      index_t chi) {
+    for (index_t c = clo; c < chi; ++c) {
+      const auto o = static_cast<std::size_t>(
+          chunk_ptr_[static_cast<std::size_t>(c)]);
+      for (index_t l = 0; l < kChunkRows; ++l) {
+        const index_t slot = c * kChunkRows + l;
+        if (slot >= rows_) continue;
+        const index_t row = perm_[static_cast<std::size_t>(slot)];
+        const auto cols = a.row_cols(row);
+        const auto vals = a.row_vals(row);
+        for (std::size_t t = 0; t < cols.size(); ++t) {
+          const std::size_t at =
+              o + t * static_cast<std::size_t>(kChunkRows) +
+              static_cast<std::size_t>(l);
+          values_[at] = vals[t];
+          full_cols[at] = static_cast<std::int32_t>(cols[t]);
+        }
+      }
+    }
+  });
+
+  // Classify chunks: packed when the chunk is full, its four slots hold four
+  // consecutive original rows, and every column position references four
+  // consecutive columns — then one base column per position reconstructs the
+  // tuple and the x gather is a unit-stride load. A padded entry inside a
+  // consecutive tuple is harmless: its value is 0.0 and its implied column
+  // is in range, so both paths add the same +0.0.
+  chunk_kind_.assign(static_cast<std::size_t>(n_chunks_), std::uint8_t{0});
+  col_ptr_.resize(static_cast<std::size_t>(n_chunks_) + 1);
+  col_ptr_[0] = 0;
+  for (index_t c = 0; c < n_chunks_; ++c) {
+    const auto sc = static_cast<std::size_t>(c);
+    const auto o = static_cast<std::size_t>(chunk_ptr_[sc]);
+    const index_t len = chunk_len_[sc];
+    bool packed = c * kChunkRows + (kChunkRows - 1) < rows_;
+    for (index_t l = 1; packed && l < kChunkRows; ++l)
+      packed = perm_[static_cast<std::size_t>(c * kChunkRows + l)] ==
+               perm_[static_cast<std::size_t>(c * kChunkRows)] + l;
+    for (index_t t = 0; packed && t < len; ++t) {
+      const std::size_t at =
+          o + static_cast<std::size_t>(t) * static_cast<std::size_t>(kChunkRows);
+      const std::int32_t c0 = full_cols[at];
+      packed = full_cols[at + 1] == c0 + 1 && full_cols[at + 2] == c0 + 2 &&
+               full_cols[at + 3] == c0 + 3;
+    }
+    chunk_kind_[sc] = packed ? 1 : 0;
+    packed_chunks_ += packed ? 1 : 0;
+    col_ptr_[sc + 1] = col_ptr_[sc] + (packed ? len : len * kChunkRows);
+  }
+
+  col_idx_.resize(
+      static_cast<std::size_t>(col_ptr_[static_cast<std::size_t>(n_chunks_)]));
+  parallel_for(index_t{0}, n_chunks_, fill_grain, [&](index_t clo,
+                                                      index_t chi) {
+    for (index_t c = clo; c < chi; ++c) {
+      const auto sc = static_cast<std::size_t>(c);
+      const auto o = static_cast<std::size_t>(chunk_ptr_[sc]);
+      const auto co = static_cast<std::size_t>(col_ptr_[sc]);
+      const index_t len = chunk_len_[sc];
+      if (chunk_kind_[sc]) {
+        for (index_t t = 0; t < len; ++t)
+          col_idx_[co + static_cast<std::size_t>(t)] =
+              full_cols[o + static_cast<std::size_t>(t) *
+                                static_cast<std::size_t>(kChunkRows)];
+      } else {
+        for (index_t e = 0; e < len * kChunkRows; ++e)
+          col_idx_[co + static_cast<std::size_t>(e)] =
+              full_cols[o + static_cast<std::size_t>(e)];
+      }
+    }
+  });
+}
+
+void SellMatrix::chunk_range_spmv(index_t slot_lo, index_t slot_hi,
+                                  std::span<const real_t> x,
+                                  std::span<real_t> y) const {
+  const index_t c_begin = slot_lo / kChunkRows;
+  const index_t c_end = (slot_hi + kChunkRows - 1) / kChunkRows;
+  for (index_t c = c_begin; c < c_end; ++c) {
+    const auto o =
+        static_cast<std::size_t>(chunk_ptr_[static_cast<std::size_t>(c)]);
+    const index_t len = chunk_len_[static_cast<std::size_t>(c)];
+    const std::int32_t* cp =
+        col_idx_.data() + static_cast<std::size_t>(
+                              col_ptr_[static_cast<std::size_t>(c)]);
+    // Lane l accumulates row perm_[4c + l] serially in column order — the
+    // exact CSR row loop, four rows abreast. The packed path performs the
+    // identical per-lane multiplies and adds; only the address computation
+    // differs (base + lane vs an explicit per-lane index), so results stay
+    // bitwise equal to the generic path and to CSR.
+    Vec4 acc = Vec4::zero();
+    if (chunk_kind_[static_cast<std::size_t>(c)]) {
+      for (index_t t = 0; t < len; ++t) {
+        const std::size_t at =
+            o +
+            static_cast<std::size_t>(t) * static_cast<std::size_t>(kChunkRows);
+        const std::size_t c0 =
+            static_cast<std::size_t>(cp[static_cast<std::size_t>(t)]);
+        acc = acc + Vec4::load(values_.data() + at) * Vec4::load(x.data() + c0);
+      }
+      acc.store(y.data() +
+                static_cast<std::size_t>(
+                    perm_[static_cast<std::size_t>(c * kChunkRows)]));
+    } else {
+      for (index_t t = 0; t < len; ++t) {
+        const std::size_t at =
+            o +
+            static_cast<std::size_t>(t) * static_cast<std::size_t>(kChunkRows);
+        const std::int32_t* ct = cp + static_cast<std::size_t>(t) *
+                                          static_cast<std::size_t>(kChunkRows);
+        const Vec4 xv = Vec4::set(x[static_cast<std::size_t>(ct[0])],
+                                  x[static_cast<std::size_t>(ct[1])],
+                                  x[static_cast<std::size_t>(ct[2])],
+                                  x[static_cast<std::size_t>(ct[3])]);
+        acc = acc + Vec4::load(values_.data() + at) * xv;
+      }
+      for (index_t l = 0; l < kChunkRows; ++l) {
+        const index_t slot = c * kChunkRows + l;
+        if (slot < rows_)
+          y[static_cast<std::size_t>(perm_[static_cast<std::size_t>(slot)])] =
+              acc.lane(static_cast<int>(l));
+      }
+    }
+  }
+}
+
+void SellMatrix::spmv(std::span<const real_t> x, std::span<real_t> y) const {
+  ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
+  ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
+  // Chunk-range partitioning: every chunk writes its own <= 4 y slots, so
+  // any partition gives bitwise identical results at any thread count.
+  const index_t grain = std::max<index_t>(64, adaptive_grain(n_chunks_, 8));
+  parallel_for(index_t{0}, n_chunks_, grain, [&](index_t clo, index_t chi) {
+    chunk_range_spmv(clo * kChunkRows, std::min(rows_, chi * kChunkRows), x,
+                     y);
+  });
+}
+
+real_t SellMatrix::spmv_dot(std::span<const real_t> x,
+                            std::span<real_t> y) const {
+  ESRP_CHECK_MSG(rows_ == cols_, "spmv_dot requires a square matrix");
+  ESRP_CHECK(static_cast<index_t>(x.size()) == cols_);
+  ESRP_CHECK(static_cast<index_t>(y.size()) == rows_);
+  // Identical reduction shape to CsrMatrix::spmv_dot: kReduceGrain row
+  // chunks, lane-ordered dot over the chunk in *original* row order. The
+  // constructor guarantees a grain-aligned slot range [lo, hi) scatters
+  // into exactly y[lo..hi), so each chunk's partial is self-contained.
+  return parallel_reduce(index_t{0}, rows_, kReduceGrain, real_t{0},
+                         [&](index_t lo, index_t hi) {
+                           chunk_range_spmv(lo, hi, x, y);
+                           return simd_dot_chunk(x.data(), y.data(), lo, hi);
+                         });
+}
+
+} // namespace esrp

@@ -1,0 +1,122 @@
+// SELL-C-σ sparse format (Kreutzer et al.): rows are grouped into chunks of
+// C consecutive row slots; within each chunk, values and column indices are
+// stored column-major (entry t of every lane adjacent in memory) and short
+// rows are padded with explicit zeros to the chunk's longest row. A SpMV
+// then processes C rows at once — one vector load of values, one gather of
+// x, one vector add per nnz column — with unit-stride streaming through the
+// matrix arrays. σ is the sorting window: rows are sorted by descending
+// length within windows of σ row slots, which packs similar-length rows
+// into the same chunk and bounds the zero-padding.
+//
+// Here C is fixed to the virtual SIMD lane width (kSimdLanes = 4,
+// common/simd.hpp) and the format is a read-only *mirror* of a CsrMatrix,
+// attached via CsrMatrix::attach_sell and selected per matrix with the
+// `format=sell` spec option (api/registry.cpp); ProblemHandle stores the
+// attached matrix, so the PlanCache amortizes the conversion across solves.
+//
+// Column-run compression: the SpMV streams the whole matrix once per call,
+// so at solver sizes it is memory-bandwidth-bound and time is proportional
+// to bytes per nonzero. A chunk is stored *packed* when every column
+// position t references four consecutive columns {c0..c0+3} and the chunk's
+// four slots hold four consecutive original rows — the common case for
+// banded/stencil matrices, where lane l's t-th column is (row l) + offset.
+// A packed chunk stores one base column per position (4 bytes per 4 nnz
+// instead of 16) and its x gather degenerates to a unit-stride Vec4 load;
+// its y scatter is a single contiguous store. Generic chunks keep the full
+// 4-wide column tuples. On a 7-point Poisson operator this cuts the matrix
+// stream from ~12.1 to ~9.4 bytes/nnz, which is exactly the observed SpMV
+// speedup on bandwidth-saturated cores.
+//
+// Determinism contract: per-row results are bitwise identical to the CSR
+// kernels. Each lane accumulates its own row's products serially in column
+// order — exactly the scalar CSR row loop — and padding contributes +0.0,
+// which never changes an accumulator's bits (a sum started at +0.0 can
+// never be -0.0; assumes finite x, as does every solver invariant).
+// Sorting windows never cross kReduceGrain row boundaries, so spmv_dot can
+// chunk rows exactly like CsrMatrix::spmv_dot and fold each chunk with the
+// canonical lane-ordered simd_dot_chunk — bitwise equal to the CSR fused
+// kernel at every thread count. Pinned by tests/sparse/sell_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "sparse/csr.hpp"
+
+namespace esrp {
+
+/// Default sorting window (rows) when a `format=sell` spec gives no
+/// `sigma=`: large enough to sort real irregularity, small enough that the
+/// permutation stays cache-local, and a multiple of every chunk size.
+inline constexpr index_t kDefaultSellSigma = 4096;
+
+class SellMatrix {
+public:
+  /// Chunk height C — fixed to the virtual SIMD lane width.
+  static constexpr index_t kChunkRows = kSimdLanes;
+
+  /// Convert `a` (which must outlive nothing — the mirror copies all it
+  /// needs). `sigma` >= 1 is clamped to each kReduceGrain-aligned window.
+  explicit SellMatrix(const CsrMatrix& a, index_t sigma = kDefaultSellSigma);
+
+  index_t rows() const { return rows_; }
+  index_t cols() const { return cols_; }
+  /// Stored (unpadded) nonzeros — equals the source matrix's nnz.
+  index_t nnz() const { return nnz_; }
+  /// Stored entries including padding: sum over chunks of 4 * chunk length.
+  index_t padded_entries() const {
+    return static_cast<index_t>(values_.size());
+  }
+  index_t sigma() const { return sigma_; }
+  index_t chunk_count() const { return n_chunks_; }
+  /// Chunks stored in the packed (column-run-compressed) layout.
+  index_t packed_chunks() const { return packed_chunks_; }
+  /// Entries in the column stream: chunk length for packed chunks, 4x chunk
+  /// length for generic ones. Drives the bytes/nnz accounting in benches.
+  index_t col_stream_entries() const {
+    return static_cast<index_t>(col_idx_.size());
+  }
+
+  /// Original row stored in SELL row slot s (slots >= rows() are virtual
+  /// padding lanes and absent here). A permutation of [0, rows).
+  std::span<const index_t> perm() const { return perm_; }
+
+  /// y := A x. Bitwise identical per row to CsrMatrix::spmv at any thread
+  /// count.
+  void spmv(std::span<const real_t> x, std::span<real_t> y) const;
+
+  /// Fused y := A x and <x, y>, bitwise identical to CsrMatrix::spmv_dot
+  /// (kReduceGrain row chunks, lane-ordered dot in original row order).
+  /// Requires a square matrix.
+  real_t spmv_dot(std::span<const real_t> x, std::span<real_t> y) const;
+
+private:
+  /// Compute y for the sell chunks covering row slots [slot_lo, slot_hi).
+  void chunk_range_spmv(index_t slot_lo, index_t slot_hi,
+                        std::span<const real_t> x, std::span<real_t> y) const;
+
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+  index_t nnz_ = 0;
+  index_t sigma_ = 1;
+  index_t n_chunks_ = 0;
+  index_t packed_chunks_ = 0;
+  std::vector<index_t> perm_;      ///< sell row slot -> original row
+  std::vector<index_t> chunk_ptr_; ///< chunk -> offset into values_
+  std::vector<index_t> chunk_len_; ///< chunk -> longest row length in chunk
+  std::vector<index_t> col_ptr_;   ///< chunk -> offset into col_idx_
+  /// 1 = packed chunk (col_idx_ holds one base column per position, rows are
+  /// the four consecutive originals starting at perm_[4c]), 0 = generic
+  /// (col_idx_ holds 4 columns per position, scatter goes through perm_).
+  std::vector<std::uint8_t> chunk_kind_;
+  /// Column stream, 32-bit on purpose: the SpMV is bandwidth-bound, and
+  /// shrinking the index stream (vs the CSR arrays' 64-bit index_t) is where
+  /// SELL's single-core win comes from — 4 bytes per column tuple in packed
+  /// chunks, 16 in generic ones. The constructor rejects matrices with
+  /// >= 2^31 columns.
+  std::vector<std::int32_t> col_idx_;
+  std::vector<real_t> values_; ///< padded, column-major per chunk
+};
+
+} // namespace esrp

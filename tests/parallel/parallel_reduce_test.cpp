@@ -101,14 +101,21 @@ TEST(ParallelReduce, CombineSeesPartialsInIndexOrder) {
     EXPECT_EQ(order[c], static_cast<index_t>(c) * 512);
 }
 
-TEST(ParallelReduce, SerialFallbackIsBitIdenticalToPlainLoop) {
+TEST(ParallelReduce, SerialFallbackIsBitIdenticalToLaneOrderedLoop) {
   ThreadCountGuard guard;
   set_num_threads(1);
   const Vector x = random_vector(100000, 11);
   const Vector y = random_vector(100000, 22);
-  real_t expected = 0;
-  for (std::size_t i = 0; i < x.size(); ++i) expected += x[i] * y[i];
-  // At one thread vec_dot must take the untouched serial path.
+  // At one thread vec_dot takes the single-chunk serial path, which since
+  // the SIMD layer (common/simd.hpp) accumulates into 4 lane accumulators
+  // (lane l takes indices i ≡ l mod 4) combined as (l0 + l1) + (l2 + l3),
+  // with the tail folded serially onto that sum.
+  real_t lane[4] = {0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 4 <= x.size(); i += 4)
+    for (std::size_t l = 0; l < 4; ++l) lane[l] += x[i + l] * y[i + l];
+  real_t expected = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+  for (; i < x.size(); ++i) expected += x[i] * y[i];
   EXPECT_EQ(vec_dot(x, y), expected);
 }
 

@@ -14,6 +14,10 @@
 #                                            # regression on a fused-kernel
 #                                            # measurement (name matching
 #                                            # /Fused/) is a SUMMARY FAIL
+#   tools/run_benches.sh --baseline auto     # same, but resolve the baseline
+#                                            # to the newest committed
+#                                            # BENCH_*.json (git ls-files);
+#                                            # errors if none is committed
 #
 # Results go to bench_results/<UTC timestamp>/<bench>.log, and a summary of
 # exit codes to bench_results/<UTC timestamp>/SUMMARY. A machine-readable
@@ -36,6 +40,17 @@ while [[ $# -gt 0 ]]; do
     --build-dir) build_dir="$2"; shift 2 ;;
     --baseline)
       baseline="$2"
+      if [[ "$baseline" == auto ]]; then
+        # Newest committed snapshot: the stamps are UTC ISO-8601-ish, so the
+        # lexicographically last path is the most recent run.
+        baseline=$(cd "$repo_root" && git ls-files 'BENCH_*.json' | sort | tail -1)
+        if [[ -z "$baseline" ]]; then
+          echo "--baseline auto: no committed BENCH_*.json snapshot found" >&2
+          exit 2
+        fi
+        baseline="$repo_root/$baseline"
+        echo "baseline auto -> $(basename "$baseline")"
+      fi
       if [[ ! -f "$baseline" ]]; then
         echo "--baseline: no such snapshot: $baseline" >&2
         exit 2
@@ -53,7 +68,7 @@ while [[ $# -gt 0 ]]; do
         exit 2
       fi
       ;;
-    -h|--help) sed -n '2,22p' "$0"; exit 0 ;;
+    -h|--help) sed -n '2,26p' "$0"; exit 0 ;;
     *) echo "unknown option: $1 (try --help)" >&2; exit 2 ;;
   esac
 done
